@@ -1,0 +1,104 @@
+//! Minimal command-line parsing shared by the harness binaries.
+//!
+//! All binaries accept `--k <even>`, `--n <backups>`, `--seed <u64>`,
+//! `--trials <count>`, `--mode <str>` and `--json`; unknown flags abort
+//! with a usage message. No external parser dependency — the flags are few
+//! and uniform.
+
+/// Parsed common arguments with experiment-specific defaults.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Fat-tree parameter.
+    pub k: usize,
+    /// Backups per failure group.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of trials / scenarios.
+    pub trials: usize,
+    /// Free-form mode string (binary-specific, e.g. "node"/"link").
+    pub mode: String,
+    /// Emit machine-readable JSON instead of the table.
+    pub json: bool,
+}
+
+impl Args {
+    /// Parse `std::env::args`, starting from the given defaults.
+    ///
+    /// # Panics
+    /// Exits the process with a usage message on malformed input.
+    pub fn parse(defaults: Args) -> Args {
+        let mut out = defaults;
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let flag = argv[i].clone();
+            let takes_value = matches!(
+                flag.as_str(),
+                "--k" | "--n" | "--seed" | "--trials" | "--mode"
+            );
+            let value = if takes_value {
+                i += 1;
+                Some(argv.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("missing value for {flag}");
+                    std::process::exit(2);
+                }))
+            } else {
+                None
+            };
+            match flag.as_str() {
+                "--k" => out.k = value.expect("taken").parse().expect("--k wants an integer"),
+                "--n" => out.n = value.expect("taken").parse().expect("--n wants an integer"),
+                "--seed" => {
+                    out.seed = value.expect("taken").parse().expect("--seed wants a u64")
+                }
+                "--trials" => {
+                    out.trials = value
+                        .expect("taken")
+                        .parse()
+                        .expect("--trials wants an integer")
+                }
+                "--mode" => out.mode = value.expect("taken"),
+                "--json" => out.json = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --k <even> --n <int> --seed <u64> --trials <int> --mode <str> --json"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        assert!(out.k >= 4 && out.k.is_multiple_of(2), "--k must be even and >= 4");
+        out
+    }
+
+    /// Typical defaults: the paper's k=16 study scale, one backup, seed 42.
+    pub fn paper_defaults() -> Args {
+        Args {
+            k: 16,
+            n: 1,
+            seed: 42,
+            trials: 20,
+            mode: String::new(),
+            json: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = Args::paper_defaults();
+        assert_eq!(a.k, 16);
+        assert_eq!(a.n, 1);
+        assert!(!a.json);
+    }
+}

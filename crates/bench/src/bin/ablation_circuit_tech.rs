@@ -1,0 +1,99 @@
+//! Ablation: circuit-switch technology (70 ns crosspoint vs. 40 µs MEMS)
+//! and its effect on packets in flight during a failover.
+//!
+//! Usage: `ablation_circuit_tech [--json]`
+//!
+//! Both reconfiguration delays are far below the failure-detection time
+//! (~1 ms probe interval), so the paper treats them as negligible (§5.3).
+//! This ablation verifies that: it sweeps the *total* blackout window a
+//! transfer experiences (detection + recovery per technology) in the
+//! packet-level simulator and reports completion-time impact and drops.
+
+use sharebackup_bench::Args;
+use sharebackup_core::{RecoveryLatencyModel, RecoveryScheme};
+use sharebackup_packet::{PacketNetConfig, PacketSim, PktEvent, PktFlowSpec};
+use sharebackup_routing::{ecmp_path, FlowKey};
+use sharebackup_sim::Time;
+use sharebackup_topo::{CircuitTech, FatTree, FatTreeConfig, HostAddr};
+
+fn main() {
+    let args = Args::parse(Args::paper_defaults());
+    let model = RecoveryLatencyModel::default();
+    let ft = FatTree::build(FatTreeConfig::new(4));
+    let src = ft.host(HostAddr { pod: 0, edge: 0, host: 0 });
+    let dst = ft.host(HostAddr { pod: 2, edge: 1, host: 0 });
+    let flow = FlowKey::new(src, dst, 1);
+    let path = ecmp_path(&ft, &flow);
+    let core = path[3];
+    let bytes = 25_000_000u64; // 20 ms at 10 Gbps
+
+    // No-failure reference.
+    let (clean, _) = PacketSim::new(PacketNetConfig::default()).run(
+        &ft.net,
+        &[PktFlowSpec {
+            path: path.clone(),
+            bytes,
+            start: Time::ZERO,
+        }],
+        vec![],
+        Time::from_secs(10),
+    );
+    let clean_t = clean[0].completed.expect("clean run finishes");
+
+    let mut rows = vec![serde_json::json!({
+        "configuration": "no failure",
+        "completion_ms": clean_t.as_secs_f64() * 1e3,
+        "drops": 0,
+        "timeouts": 0,
+    })];
+    for tech in [CircuitTech::Crosspoint, CircuitTech::Mems2D] {
+        let outage = model.total(RecoveryScheme::ShareBackup(tech));
+        let fail_at = Time::from_millis(5);
+        let events = vec![
+            (fail_at, PktEvent::FailNode(core)),
+            (fail_at + outage, PktEvent::RepairNode(core)),
+        ];
+        let (out, drops) = PacketSim::new(PacketNetConfig::default()).run(
+            &ft.net,
+            &[PktFlowSpec {
+                path: path.clone(),
+                bytes,
+                start: Time::ZERO,
+            }],
+            events,
+            Time::from_secs(10),
+        );
+        rows.push(serde_json::json!({
+            "configuration": format!("{tech:?} (outage {:.3} ms)", outage.as_millis_f64()),
+            "completion_ms": out[0].completed.expect("finishes").as_secs_f64() * 1e3,
+            "drops": drops,
+            "timeouts": out[0].timeouts,
+        }));
+    }
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::Value::Array(rows)).expect("json")
+        );
+        return;
+    }
+
+    println!("Ablation — circuit technology vs. failover disruption (25 MB transfer, core slot fails at 5 ms)");
+    println!(
+        "{:<34} {:>15} {:>8} {:>9}",
+        "configuration", "completion", "drops", "timeouts"
+    );
+    for r in &rows {
+        println!(
+            "{:<34} {:>12.2} ms {:>8} {:>9}",
+            r["configuration"].as_str().expect("name"),
+            r["completion_ms"].as_f64().expect("v"),
+            r["drops"],
+            r["timeouts"],
+        );
+    }
+    println!();
+    println!("expected: both technologies add only the detection-dominated blackout");
+    println!("(~1-2 ms); the 70 ns vs 40 us reset difference is invisible, as §5.3 argues.");
+}

@@ -1,0 +1,96 @@
+//! §5.1: capacity to handle failures — backup ratios vs. the measured
+//! 0.01% switch failure rate, plus an empirical pool-exhaustion check.
+//!
+//! Usage: `capacity [--trials 1000] [--seed 42] [--json]`
+//!
+//! The empirical part samples concurrent-failure scenarios at the paper's
+//! failure statistics and counts how often any failure group would need
+//! more than n backups — the event ShareBackup cannot mask.
+
+use sharebackup_bench::Args;
+use sharebackup_cost::CapacityAnalysis;
+use sharebackup_sim::SimRng;
+
+/// Probability that some group exceeds its n backups when each switch is
+/// independently down with probability `p` — estimated by sampling.
+fn exhaustion_probability(k: usize, n: usize, p: f64, trials: usize, seed: u64) -> f64 {
+    let half = k / 2;
+    let groups = 5 * k / 2;
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut exhausted = 0usize;
+    for _ in 0..trials {
+        let mut any = false;
+        for _ in 0..groups {
+            let mut down = 0usize;
+            for _ in 0..half {
+                if rng.chance(p) {
+                    down += 1;
+                }
+            }
+            if down > n {
+                any = true;
+                break;
+            }
+        }
+        if any {
+            exhausted += 1;
+        }
+    }
+    exhausted as f64 / trials as f64
+}
+
+fn main() {
+    let mut defaults = Args::paper_defaults();
+    defaults.trials = 10_000;
+    let args = Args::parse(defaults);
+    const FAILURE_RATE: f64 = 0.0001; // 99.99% availability (Gill et al.)
+
+    let configs = [(16usize, 1usize), (48, 1), (48, 4), (58, 1), (64, 2)];
+    let rows: Vec<serde_json::Value> = configs
+        .iter()
+        .map(|&(k, n)| {
+            let c = CapacityAnalysis::new(k, n);
+            serde_json::json!({
+                "k": k,
+                "n": n,
+                "hosts": c.hosts(),
+                "failure_groups": c.failure_groups(),
+                "backup_ratio_pct": 100.0 * c.backup_ratio(),
+                "headroom_over_0p01pct": c.headroom_over(FAILURE_RATE),
+                "switch_failures_per_group": c.switch_failures_per_group(),
+                "link_failures_per_group": c.link_failures_per_group(),
+                "exhaustion_probability": exhaustion_probability(
+                    k, n, FAILURE_RATE, args.trials, args.seed
+                ),
+            })
+        })
+        .collect();
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::Value::Array(rows)).expect("json")
+        );
+        return;
+    }
+
+    println!("§5.1 — capacity to handle failures (0.01% instantaneous switch failure rate)");
+    println!(
+        "{:>4} {:>3} {:>7} {:>7} {:>13} {:>10} {:>12} {:>12} {:>12}",
+        "k", "n", "hosts", "groups", "backup ratio", "headroom", "sw fail/grp", "ln fail/grp",
+        "P(exhaust)"
+    );
+    for r in &rows {
+        println!(
+            "{:>4} {:>3} {:>7} {:>7} {:>12.2}% {:>9.0}x {:>12} {:>12} {:>12.5}",
+            r["k"], r["n"], r["hosts"], r["failure_groups"],
+            r["backup_ratio_pct"].as_f64().expect("v"),
+            r["headroom_over_0p01pct"].as_f64().expect("v"),
+            r["switch_failures_per_group"], r["link_failures_per_group"],
+            r["exhaustion_probability"].as_f64().expect("v"),
+        );
+    }
+    println!();
+    println!("paper: k=48, n=1 gives backup ratio 4.17%, >400x the failure rate;");
+    println!("n concurrent switch failures (kn link failures) tolerated per group.");
+}

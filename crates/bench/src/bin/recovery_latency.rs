@@ -1,0 +1,143 @@
+//! §5.3: recovery latency — ShareBackup vs. local and global rerouting —
+//! from the analytical model *and* from a packet-level failover
+//! simulation.
+//!
+//! Usage: `recovery_latency [--json]`
+//!
+//! The packet-level part transfers a flow across a k=4 fat-tree, kills the
+//! core on its path, restores the path after each scheme's modeled
+//! recovery latency, and reports the observed disruption (time with no
+//! forward progress).
+
+use sharebackup_bench::Args;
+use sharebackup_core::{RecoveryLatencyModel, RecoveryScheme};
+use sharebackup_packet::{PacketNetConfig, PacketSim, PktEvent, PktFlowSpec};
+
+use sharebackup_routing::{ecmp_path, FlowKey};
+use sharebackup_sim::{Duration, Time};
+use sharebackup_topo::{CircuitTech, FatTree, FatTreeConfig, HostAddr};
+
+/// Completion time of a 10 MB transfer whose path dies at 10 ms and is
+/// restored `recovery` later (same path — models ShareBackup — or an
+/// alternate path — models rerouting).
+fn disrupted_transfer(recovery: Duration, reroute: bool) -> Time {
+    let ft = FatTree::build(FatTreeConfig::new(4));
+    let src = ft.host(HostAddr { pod: 0, edge: 0, host: 0 });
+    let dst = ft.host(HostAddr { pod: 2, edge: 1, host: 0 });
+    let flow = FlowKey::new(src, dst, 1);
+    let path = ecmp_path(&ft, &flow);
+    let core = path[3];
+    let fail_at = Time::from_millis(10);
+    let recovered_at = fail_at + recovery;
+    let mut events = vec![(fail_at, PktEvent::FailNode(core))];
+    if reroute {
+        // Rerouting: a different same-length path comes into service.
+        let alt = ft
+            .host_paths(src, dst)
+            .into_iter()
+            .find(|p| !p.contains(&core))
+            .expect("alternate path");
+        events.push((
+            recovered_at,
+            PktEvent::SetPath {
+                flow: 0,
+                path: Some(alt),
+            },
+        ));
+    } else {
+        // ShareBackup: the same path comes back (slot restored).
+        events.push((recovered_at, PktEvent::RepairNode(core)));
+    }
+    let flows = vec![PktFlowSpec {
+        path,
+        bytes: 10_000_000,
+        start: Time::ZERO,
+    }];
+    // A finer RTO than the 10 ms default, so millisecond-scale recovery
+    // differences are not hidden by retransmission-timer quantization.
+    let cfg = PacketNetConfig {
+        rto: Duration::from_millis(2),
+        ..PacketNetConfig::default()
+    };
+    let (out, _) = PacketSim::new(cfg).run(&ft.net, &flows, events, Time::from_secs(60));
+    out[0].completed.expect("transfer finishes")
+}
+
+fn main() {
+    let args = Args::parse(Args::paper_defaults());
+    let m = RecoveryLatencyModel::default();
+
+    let schemes = [
+        (
+            "ShareBackup (crosspoint)",
+            RecoveryScheme::ShareBackup(CircuitTech::Crosspoint),
+            false,
+        ),
+        (
+            "ShareBackup (2D MEMS)",
+            RecoveryScheme::ShareBackup(CircuitTech::Mems2D),
+            false,
+        ),
+        ("F10/Aspen local reroute", RecoveryScheme::LocalReroute, true),
+        (
+            "fat-tree global reroute",
+            RecoveryScheme::GlobalReroute {
+                switches_updated: 4,
+                propagation_hops: 3,
+            },
+            true,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for &(name, scheme, reroute) in &schemes {
+        let detection = m.detection();
+        let repair = m.repair(scheme);
+        let total = m.total(scheme);
+        let completion = disrupted_transfer(total, reroute);
+        rows.push(serde_json::json!({
+            "scheme": name,
+            "detection_us": detection.as_secs_f64() * 1e6,
+            "repair_us": repair.as_secs_f64() * 1e6,
+            "total_us": total.as_secs_f64() * 1e6,
+            "packet_sim_completion_ms": completion.as_secs_f64() * 1e3,
+        }));
+    }
+    // Reference: the same transfer with no failure at all.
+    let clean = disrupted_transfer(Duration::ZERO, false);
+    rows.push(serde_json::json!({
+        "scheme": "(no failure reference)",
+        "detection_us": 0.0,
+        "repair_us": 0.0,
+        "total_us": 0.0,
+        "packet_sim_completion_ms": clean.as_secs_f64() * 1e3,
+    }));
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::Value::Array(rows)).expect("json")
+        );
+        return;
+    }
+
+    println!("§5.3 — recovery latency model + packet-level failover (10 MB transfer, core dies at 10 ms)");
+    println!(
+        "{:<26} {:>13} {:>11} {:>11} {:>22}",
+        "scheme", "detection", "repair", "total", "observed completion"
+    );
+    for r in &rows {
+        println!(
+            "{:<26} {:>10.0} us {:>8.2} us {:>8.2} us {:>19.2} ms",
+            r["scheme"].as_str().expect("name"),
+            r["detection_us"].as_f64().expect("v"),
+            r["repair_us"].as_f64().expect("v"),
+            r["total_us"].as_f64().expect("v"),
+            r["packet_sim_completion_ms"].as_f64().expect("v"),
+        );
+    }
+    println!();
+    println!("constants per paper: ~1 ms probe interval (all schemes), 1 ms SDN rule");
+    println!("install, 70 ns crosspoint / 40 us MEMS circuit reset, sub-ms control");
+    println!("messages. ShareBackup recovers as fast as local rerouting.");
+}

@@ -1,0 +1,524 @@
+//! Shared driver for the Fig. 1 experiments (§2.2 failure study).
+//!
+//! The same *abstract failure* — a switch position or a link position in
+//! the fat-tree structure — is applied to all three systems so their
+//! responses are directly comparable:
+//!
+//! * fat-tree with global optimal rerouting,
+//! * F10 with local rerouting,
+//! * ShareBackup under its recovery controller.
+
+use sharebackup_core::scenario::{
+    sharebackup_timeline, F10World, FatTreeWorld, RecoveryMode, SbEvent, ShareBackupWorld,
+    TopoEvent,
+};
+use sharebackup_core::{Controller, ControllerConfig};
+use sharebackup_flowsim::{impact, Coflow, FlowSim, SimOutcome};
+use sharebackup_routing::ecmp_path;
+use sharebackup_sim::{Duration, SimRng, Time};
+use sharebackup_topo::{
+    F10Topology, FatTree, FatTreeConfig, GroupId, HostAddr, ShareBackup, ShareBackupConfig,
+};
+use sharebackup_workload::{CoflowTrace, TraceConfig};
+
+use crate::racks::RackMap;
+
+/// Parameters of a Fig. 1-style experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig1Setup {
+    /// Fat-tree parameter (paper: 16).
+    pub k: usize,
+    /// Backups per group for the ShareBackup runs.
+    pub n: usize,
+    /// Edge oversubscription (paper: 10.0).
+    pub oversubscription: f64,
+    /// Trace duration (paper: 5-minute partitions).
+    pub duration: Time,
+    /// Failure strike time within the partition.
+    pub fail_at: Time,
+    /// Outage length before repair ("most failures last a few minutes").
+    pub outage: Duration,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Traffic intensity multiplier (scales the coflow arrival rate;
+    /// 1.0 ≈ a lightly loaded cluster, 4-8 ≈ busy).
+    pub load_factor: f64,
+}
+
+impl Fig1Setup {
+    /// The paper's §2.2 configuration.
+    pub fn paper(k: usize, seed: u64) -> Fig1Setup {
+        Fig1Setup {
+            k,
+            n: 1,
+            oversubscription: 10.0,
+            duration: Time::from_secs(300),
+            fail_at: Time::from_secs(30),
+            outage: Duration::from_secs(180),
+            seed,
+            load_factor: 1.0,
+        }
+    }
+
+    /// Scale the offered load (arrival rate multiplier).
+    pub fn with_load(mut self, factor: f64) -> Fig1Setup {
+        self.load_factor = factor;
+        self
+    }
+
+    /// The fat-tree topology config.
+    pub fn ft_config(&self) -> FatTreeConfig {
+        FatTreeConfig::new(self.k).with_oversubscription(self.oversubscription)
+    }
+
+    /// Generate the synthetic coflow trace for trial `trial`.
+    pub fn trace(&self, ft: &FatTree, trial: usize) -> CoflowTrace {
+        let map = RackMap::new(self.k);
+        // Cap widths so giant shuffles stay simulable at workstation scale
+        // while preserving the heavy tail.
+        let cfg = TraceConfig {
+            max_width: (map.racks() / 4).max(8),
+            ..TraceConfig::fb_like(map.racks(), self.duration)
+        }
+        .with_mean_interarrival_s(3.0 / self.load_factor);
+        let mut rng = SimRng::seed_from_u64(self.seed).child(&format!("trace-{trial}"));
+        CoflowTrace::generate(&cfg, &mut rng, |rack, salt| map.host(ft, rack, salt))
+    }
+}
+
+/// An abstract failure position, mappable onto every compared topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbstractFailure {
+    /// Edge switch (pod, j).
+    Edge(usize, usize),
+    /// Aggregation switch (pod, j).
+    Agg(usize, usize),
+    /// Core switch (global index).
+    Core(usize),
+    /// Link between edge `e` and its `m`-th uplink in `pod`.
+    LinkEdgeUp {
+        /// Pod.
+        pod: usize,
+        /// Edge index.
+        e: usize,
+        /// Uplink index.
+        m: usize,
+    },
+    /// Link between agg `a` and its `m`-th core uplink in `pod`.
+    LinkAggUp {
+        /// Pod.
+        pod: usize,
+        /// Agg index.
+        a: usize,
+        /// Uplink index.
+        m: usize,
+    },
+    /// Host link of host (pod, e, h); the switch-side interface is at
+    /// fault.
+    LinkHost {
+        /// Pod.
+        pod: usize,
+        /// Edge index.
+        e: usize,
+        /// Host index.
+        h: usize,
+    },
+}
+
+impl AbstractFailure {
+    /// Sample a node failure uniformly over switch positions.
+    pub fn sample_node(rng: &mut SimRng, k: usize) -> AbstractFailure {
+        let half = k / 2;
+        let total = 2 * k * half + half * half;
+        let x = rng.range(0..total);
+        if x < k * half {
+            AbstractFailure::Edge(x / half, x % half)
+        } else if x < 2 * k * half {
+            let y = x - k * half;
+            AbstractFailure::Agg(y / half, y % half)
+        } else {
+            AbstractFailure::Core(x - 2 * k * half)
+        }
+    }
+
+    /// Sample a link failure uniformly over link positions.
+    pub fn sample_link(rng: &mut SimRng, k: usize) -> AbstractFailure {
+        let half = k / 2;
+        let host_links = k * half * half;
+        let ea_links = k * half * half;
+        let ac_links = k * half * half;
+        let x = rng.range(0..host_links + ea_links + ac_links);
+        if x < host_links {
+            let pod = x / (half * half);
+            let rem = x % (half * half);
+            AbstractFailure::LinkHost {
+                pod,
+                e: rem / half,
+                h: rem % half,
+            }
+        } else if x < host_links + ea_links {
+            let y = x - host_links;
+            let pod = y / (half * half);
+            let rem = y % (half * half);
+            AbstractFailure::LinkEdgeUp {
+                pod,
+                e: rem / half,
+                m: rem % half,
+            }
+        } else {
+            let y = x - host_links - ea_links;
+            let pod = y / (half * half);
+            let rem = y % (half * half);
+            AbstractFailure::LinkAggUp {
+                pod,
+                a: rem / half,
+                m: rem % half,
+            }
+        }
+    }
+
+    /// The fat-tree topology event for this failure.
+    pub fn to_fattree(&self, ft: &FatTree) -> TopoEvent {
+        let half = ft.k() / 2;
+        match *self {
+            AbstractFailure::Edge(p, j) => TopoEvent::FailNode(ft.edge(p, j)),
+            AbstractFailure::Agg(p, j) => TopoEvent::FailNode(ft.agg(p, j)),
+            AbstractFailure::Core(c) => TopoEvent::FailNode(ft.core(c)),
+            AbstractFailure::LinkEdgeUp { pod, e, m } => {
+                let a = (e + m) % half; // same position ShareBackup wires via CS2[m]
+                let l = ft
+                    .net
+                    .link_between(ft.edge(pod, e), ft.agg(pod, a))
+                    .expect("edge-agg link");
+                TopoEvent::FailLink(l)
+            }
+            AbstractFailure::LinkAggUp { pod, a, m } => {
+                let l = ft
+                    .net
+                    .link_between(ft.agg(pod, a), ft.core(a * half + m))
+                    .expect("agg-core link");
+                TopoEvent::FailLink(l)
+            }
+            AbstractFailure::LinkHost { pod, e, h } => {
+                let host = ft.host(HostAddr { pod, edge: e, host: h });
+                let l = ft
+                    .net
+                    .link_between(host, ft.edge(pod, e))
+                    .expect("host link");
+                TopoEvent::FailLink(l)
+            }
+        }
+    }
+
+    /// The F10 topology event for this failure (same structural position;
+    /// F10's core wiring differs, so uplink `m` resolves per its striping).
+    pub fn to_f10(&self, f10: &F10Topology) -> TopoEvent {
+        let half = f10.k() / 2;
+        match *self {
+            AbstractFailure::Edge(p, j) => TopoEvent::FailNode(f10.edge(p, j)),
+            AbstractFailure::Agg(p, j) => TopoEvent::FailNode(f10.agg(p, j)),
+            AbstractFailure::Core(c) => TopoEvent::FailNode(f10.core(c)),
+            AbstractFailure::LinkEdgeUp { pod, e, m } => {
+                let a = (e + m) % half;
+                let l = f10
+                    .net
+                    .link_between(f10.edge(pod, e), f10.agg(pod, a))
+                    .expect("edge-agg link");
+                TopoEvent::FailLink(l)
+            }
+            AbstractFailure::LinkAggUp { pod, a, m } => {
+                let c = f10.cores_of_agg(pod, a)[m];
+                let l = f10
+                    .net
+                    .link_between(f10.agg(pod, a), f10.core(c))
+                    .expect("agg-core link");
+                TopoEvent::FailLink(l)
+            }
+            AbstractFailure::LinkHost { pod, e, h } => {
+                let host = f10.host(HostAddr { pod, edge: e, host: h });
+                let l = f10
+                    .net
+                    .link_between(host, f10.edge(pod, e))
+                    .expect("host link");
+                TopoEvent::FailLink(l)
+            }
+        }
+    }
+
+    /// The ShareBackup injection for this failure (against the physical
+    /// occupant of the slot).
+    pub fn to_sharebackup(&self, sb: &ShareBackup) -> SbEvent {
+        let half = sb.k() / 2;
+        match *self {
+            AbstractFailure::Edge(p, j) => {
+                SbEvent::NodeFail(sb.occupant(GroupId::edge(p).slot(j)))
+            }
+            AbstractFailure::Agg(p, j) => SbEvent::NodeFail(sb.occupant(GroupId::agg(p).slot(j))),
+            AbstractFailure::Core(c) => {
+                let u = c % half;
+                let j = c / half;
+                SbEvent::NodeFail(sb.occupant(GroupId::core(u).slot(j)))
+            }
+            AbstractFailure::LinkEdgeUp { pod, e, m } => {
+                let edge = sb.occupant(GroupId::edge(pod).slot(e));
+                let a = (e + m) % half;
+                let agg = sb.occupant(GroupId::agg(pod).slot(a));
+                // The edge-side interface is the faulty one; the agg side is
+                // the innocent far end that diagnosis exonerates.
+                SbEvent::LinkFail {
+                    faulty: (edge, half + m),
+                    other: (agg, m),
+                }
+            }
+            AbstractFailure::LinkAggUp { pod, a, m } => {
+                let agg = sb.occupant(GroupId::agg(pod).slot(a));
+                let core = sb.occupant(GroupId::core(m).slot(a));
+                SbEvent::LinkFail {
+                    faulty: (agg, half + m),
+                    other: (core, pod),
+                }
+            }
+            AbstractFailure::LinkHost { pod, e, h } => {
+                // The switch-side interface is at fault (the same physical
+                // fault the baselines see as a downed host link); the
+                // controller's host-link procedure replaces the switch
+                // (§4.2), which fixes it in milliseconds.
+                SbEvent::HostLinkFail {
+                    host: sb.slots.host(HostAddr { pod, edge: e, host: h }),
+                    switch_side: true,
+                }
+            }
+        }
+    }
+
+    /// Whether this failure severs hosts permanently under *any* scheme
+    /// until repair (an edge switch or host link going down strands hosts).
+    pub fn strands_hosts(&self) -> bool {
+        matches!(
+            self,
+            AbstractFailure::Edge(..) | AbstractFailure::LinkHost { .. }
+        )
+    }
+}
+
+/// One system's CCT results for a trial.
+#[derive(Clone, Debug)]
+pub struct CctRun {
+    /// Per-coflow CCT in seconds (`None` = never finished).
+    pub cct: Vec<Option<f64>>,
+}
+
+/// Compute per-coflow CCTs from a sim outcome.
+fn ccts(trace: &CoflowTrace, out: &SimOutcome) -> CctRun {
+    CctRun {
+        cct: trace
+            .coflows
+            .iter()
+            .map(|cf: &Coflow| cf.cct(&trace.specs, out).map(|d| d.as_secs_f64()))
+            .collect(),
+    }
+}
+
+/// Run the baseline (no failure) on a fat-tree.
+pub fn run_fattree_baseline(setup: &Fig1Setup, trace: &CoflowTrace) -> CctRun {
+    let ft = FatTree::build(setup.ft_config());
+    let mut world = FatTreeWorld::new(ft, RecoveryMode::GlobalOptimal, vec![]);
+    let out = FlowSim::new().run(&mut world, &trace.specs, &[]);
+    ccts(trace, &out)
+}
+
+/// Run a fat-tree trial with one failure, global optimal rerouting.
+pub fn run_fattree_failure(
+    setup: &Fig1Setup,
+    trace: &CoflowTrace,
+    failure: AbstractFailure,
+) -> CctRun {
+    let ft = FatTree::build(setup.ft_config());
+    let fail_ev = failure.to_fattree(&ft);
+    let repair_ev = match fail_ev {
+        TopoEvent::FailNode(n) => TopoEvent::RepairNode(n),
+        TopoEvent::FailLink(l) => TopoEvent::RepairLink(l),
+        _ => unreachable!("failures only"),
+    };
+    let mut world = FatTreeWorld::new(
+        ft,
+        RecoveryMode::GlobalOptimal,
+        vec![fail_ev, repair_ev],
+    );
+    let epochs = [setup.fail_at, setup.fail_at + setup.outage];
+    let out = FlowSim::new().run(&mut world, &trace.specs, &epochs);
+    ccts(trace, &out)
+}
+
+/// Run the baseline (no failure) on F10.
+pub fn run_f10_baseline(setup: &Fig1Setup, trace: &CoflowTrace) -> CctRun {
+    let f10 = F10Topology::build(setup.ft_config());
+    let mut world = F10World::new(f10, vec![]);
+    let out = FlowSim::new().run(&mut world, &trace.specs, &[]);
+    ccts(trace, &out)
+}
+
+/// Run an F10 trial with one failure, local rerouting.
+pub fn run_f10_failure(
+    setup: &Fig1Setup,
+    trace: &CoflowTrace,
+    failure: AbstractFailure,
+) -> CctRun {
+    let f10 = F10Topology::build(setup.ft_config());
+    let fail_ev = failure.to_f10(&f10);
+    let repair_ev = match fail_ev {
+        TopoEvent::FailNode(n) => TopoEvent::RepairNode(n),
+        TopoEvent::FailLink(l) => TopoEvent::RepairLink(l),
+        _ => unreachable!("failures only"),
+    };
+    let mut world = F10World::new(f10, vec![fail_ev, repair_ev]);
+    let epochs = [setup.fail_at, setup.fail_at + setup.outage];
+    let out = FlowSim::new().run(&mut world, &trace.specs, &epochs);
+    ccts(trace, &out)
+}
+
+/// Run a ShareBackup trial with one failure under the controller.
+pub fn run_sharebackup_failure(
+    setup: &Fig1Setup,
+    trace: &CoflowTrace,
+    failure: AbstractFailure,
+) -> (CctRun, ShareBackupWorld) {
+    let sb = ShareBackup::build(ShareBackupConfig::for_fattree(setup.ft_config(), setup.n));
+    let controller = Controller::new(sb, ControllerConfig::default());
+    let mut world = ShareBackupWorld::new(controller, vec![]);
+    let ev = failure.to_sharebackup(&world.controller.sb);
+    let (events, times) = sharebackup_timeline(&world, &[(setup.fail_at, ev)]);
+    world.events = events;
+    let out = FlowSim::new().run(&mut world, &trace.specs, &times);
+    (ccts(trace, &out), world)
+}
+
+/// Slowdowns (failure CCT / baseline CCT) for coflows finished in both
+/// runs; `stranded` counts coflows the failure run never finished.
+pub fn slowdowns(baseline: &CctRun, failure: &CctRun) -> (Vec<f64>, usize) {
+    let mut out = Vec::new();
+    let mut stranded = 0;
+    for (b, f) in baseline.cct.iter().zip(&failure.cct) {
+        match (b, f) {
+            (Some(b), Some(f)) if *b > 0.0 => out.push(f / b),
+            (Some(_), None) => stranded += 1,
+            _ => {}
+        }
+    }
+    (out, stranded)
+}
+
+/// Fig. 1(a)/(b) sweep: affected flow/coflow fractions at each failure
+/// count, averaged over trials.
+pub fn impact_sweep(
+    setup: &Fig1Setup,
+    node_mode: bool,
+    failure_counts: &[usize],
+    trials: usize,
+) -> Vec<(usize, f64, f64)> {
+    let ft = FatTree::build(setup.ft_config());
+    let mut results = Vec::new();
+    for &count in failure_counts {
+        let mut flow_sum = 0.0;
+        let mut coflow_sum = 0.0;
+        for trial in 0..trials {
+            let trace = setup.trace(&ft, trial);
+            let paths: Vec<Vec<_>> = trace
+                .specs
+                .iter()
+                .map(|s| ecmp_path(&ft, &s.key))
+                .collect();
+            let mut net = ft.net.clone();
+            let mut rng = SimRng::seed_from_u64(setup.seed)
+                .child(&format!("impact-{node_mode}-{count}-{trial}"));
+            for _ in 0..count {
+                let f = if node_mode {
+                    AbstractFailure::sample_node(&mut rng, setup.k)
+                } else {
+                    AbstractFailure::sample_link(&mut rng, setup.k)
+                };
+                match f.to_fattree(&ft) {
+                    TopoEvent::FailNode(n) => net.set_node_up(n, false),
+                    TopoEvent::FailLink(l) => net.set_link_up(l, false),
+                    _ => unreachable!(),
+                }
+            }
+            let report = impact::impact(&net, &paths, &trace.coflows);
+            flow_sum += report.flow_fraction();
+            coflow_sum += report.coflow_fraction();
+        }
+        results.push((
+            count,
+            flow_sum / trials as f64,
+            coflow_sum / trials as f64,
+        ));
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abstract_failures_map_consistently() {
+        let setup = Fig1Setup::paper(8, 1);
+        let ft = FatTree::build(setup.ft_config());
+        let f10 = F10Topology::build(setup.ft_config());
+        let sb = ShareBackup::build(ShareBackupConfig::new(8, 1));
+        let mut rng = SimRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let f = AbstractFailure::sample_node(&mut rng, 8);
+            // Must map without panicking on every topology.
+            let _ = f.to_fattree(&ft);
+            let _ = f.to_f10(&f10);
+            let _ = f.to_sharebackup(&sb);
+            let l = AbstractFailure::sample_link(&mut rng, 8);
+            let _ = l.to_fattree(&ft);
+            let _ = l.to_f10(&f10);
+            let _ = l.to_sharebackup(&sb);
+        }
+    }
+
+    #[test]
+    fn single_node_failure_amplifies_on_coflows() {
+        // A miniature Fig. 1(a): coflow fraction ≥ flow fraction always.
+        let setup = Fig1Setup::paper(8, 7);
+        let rows = impact_sweep(&setup, true, &[1, 4], 3);
+        for (count, flow_frac, coflow_frac) in rows {
+            assert!(
+                coflow_frac >= flow_frac,
+                "amplification must hold at count {count}: {coflow_frac} < {flow_frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharebackup_slowdown_is_negligible_vs_fattree() {
+        // A miniature Fig. 1(c) on k=4 with a handful of coflows.
+        let mut setup = Fig1Setup::paper(4, 3);
+        setup.duration = Time::from_secs(30);
+        setup.fail_at = Time::from_secs(2);
+        setup.outage = Duration::from_secs(20);
+        let ft = FatTree::build(setup.ft_config());
+        let trace = setup.trace(&ft, 0);
+        assert!(trace.coflow_count() > 0);
+        // Pick a core failure (never strands hosts).
+        let failure = AbstractFailure::Core(1);
+        let base_ft = run_fattree_baseline(&setup, &trace);
+        let fail_ft = run_fattree_failure(&setup, &trace, failure);
+        let (fail_sb, world) = run_sharebackup_failure(&setup, &trace, failure);
+        assert_eq!(world.controller.stats.replacements, 1);
+        let (sd_ft, stranded_ft) = slowdowns(&base_ft, &fail_ft);
+        let (sd_sb, stranded_sb) = slowdowns(&base_ft, &fail_sb);
+        assert_eq!(stranded_ft, 0);
+        assert_eq!(stranded_sb, 0);
+        let max_sb = sd_sb.iter().cloned().fold(0.0, f64::max);
+        let max_ft = sd_ft.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            max_sb <= max_ft + 1e-6,
+            "ShareBackup ({max_sb}) must not degrade more than fat-tree ({max_ft})"
+        );
+        assert!(max_sb < 1.05, "ShareBackup slowdown ≈ 1, got {max_sb}");
+    }
+}

@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+//! # sharebackup-bench
+//!
+//! Shared harness code for the per-figure/per-table binaries in `src/bin/`.
+//! Each binary regenerates one table or figure of the paper; see DESIGN.md
+//! for the experiment index and EXPERIMENTS.md for recorded results.
+
+pub mod args;
+pub mod fig1;
+pub mod racks;
+
+pub use args::Args;
+pub use racks::RackMap;

@@ -1,0 +1,149 @@
+//! Exploring the paper's §6 closing question: "when backup switches are
+//! idle, they can be activated to add bandwidth to the network."
+//!
+//! This module quantifies what the §3 wiring actually permits, and the
+//! finding is a negative result worth stating precisely:
+//!
+//! * Every *regular* switch port is committed (edge: k/2 host + k/2 up;
+//!   agg: k/2 down + k/2 up; core: k pod ports) — the paper itself makes
+//!   the same observation about 1:1 backup "doubling the port
+//!   requirements". Hosts likewise have a single NIC.
+//! * Idle backups therefore can only form circuits **with each other**:
+//!   spare-edge↔spare-agg on each `CS₂` and spare-agg↔spare-core on each
+//!   `CS₃`. This *spare plane* adds `k/2·min(n_e, n_a)` edge↔agg and
+//!   `k/2·min(n_a, n_c)` agg↔core links per pod —
+//! * — but no host can reach it, so it adds **zero host-to-host
+//!   bisection bandwidth**. Boosting needs either extra ports on regular
+//!   switches (1:1-backup territory, the cost the paper rejects) or
+//!   time-multiplexed remapping of live circuits (a reconfiguration
+//!   schedule, future work beyond the HotNets paper).
+//!
+//! What idle backups *are* good for within the §3 wiring is captured by
+//! [`crate::maintenance`]: zero-downtime rolling upgrades.
+
+use sharebackup_topo::{GroupKind, ShareBackup};
+
+/// The extra connectivity activatable from idle backups under §3 wiring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoostPotential {
+    /// Activatable spare-edge↔spare-agg links (whole network).
+    pub edge_agg_links: usize,
+    /// Activatable spare-agg↔spare-core links (whole network).
+    pub agg_core_links: usize,
+    /// Additional host-reachable bisection links. Structurally zero under
+    /// the paper's wiring; kept as a field so the finding is explicit.
+    pub host_reachable_links: usize,
+}
+
+impl BoostPotential {
+    /// Analyze a built network's idle-backup boost potential. Counts only
+    /// *currently idle* (healthy, non-occupying) backups.
+    pub fn analyze(sb: &ShareBackup) -> BoostPotential {
+        let k = sb.k();
+        let half = k / 2;
+        let mut edge_agg = 0;
+        let mut agg_core = 0;
+        for pod in 0..k {
+            let spare_edges = sb.spares(sharebackup_topo::GroupId::edge(pod)).len();
+            let spare_aggs = sb.spares(sharebackup_topo::GroupId::agg(pod)).len();
+            // On each of the pod's k/2 CS₂ crossbars, each idle spare edge
+            // can pair with an idle spare agg.
+            edge_agg += half * spare_edges.min(spare_aggs);
+            // On CS₃[u], the pod's spare aggs can pair with group u's spare
+            // cores.
+            for u in 0..half {
+                let spare_cores = sb.spares(sharebackup_topo::GroupId::core(u)).len();
+                agg_core += spare_aggs.min(spare_cores).min(1); // one circuit per CS₃
+            }
+        }
+        BoostPotential {
+            edge_agg_links: edge_agg,
+            agg_core_links: agg_core,
+            host_reachable_links: 0,
+        }
+    }
+
+    /// Whether activating the spare plane would raise any host's available
+    /// bandwidth (it cannot, under §3 wiring).
+    pub fn improves_host_bandwidth(&self) -> bool {
+        self.host_reachable_links > 0
+    }
+}
+
+/// Port-budget audit backing the negative result: free (uncommitted) ports
+/// per *occupying* device class in a healthy network. Counted from the
+/// actual circuit state, not asserted: an interface is free iff its circuit
+/// switch port carries no circuit.
+pub fn free_ports_per_class(sb: &ShareBackup) -> [(GroupKind, usize); 3] {
+    let k = sb.k();
+    let mut free = [(GroupKind::Edge, 0usize), (GroupKind::Agg, 0), (GroupKind::Core, 0)];
+    for g in sb.group_ids() {
+        let idx = match g.kind {
+            GroupKind::Edge => 0,
+            GroupKind::Agg => 1,
+            GroupKind::Core => 2,
+        };
+        for &p in sb.group_members(g) {
+            if sb.slot_of(p).is_none() {
+                continue; // spares are idle by definition
+            }
+            for iface in 0..k {
+                let (cs, port) = sb.iface_attachment(p, iface);
+                if sb.circuit_switch(cs).mate(port).is_none() {
+                    free[idx].1 += 1;
+                }
+            }
+        }
+    }
+    free
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharebackup_topo::{GroupId, ShareBackupConfig};
+
+    #[test]
+    fn spare_plane_size_matches_formula() {
+        let sb = ShareBackup::build(ShareBackupConfig::new(6, 1));
+        let b = BoostPotential::analyze(&sb);
+        // Per pod: k/2 CS₂ × min(1,1) = 3 edge-agg circuits; 3 CS₃ × 1.
+        assert_eq!(b.edge_agg_links, 6 * 3);
+        assert_eq!(b.agg_core_links, 6 * 3);
+        assert_eq!(b.host_reachable_links, 0);
+        assert!(!b.improves_host_bandwidth());
+    }
+
+    #[test]
+    fn consumed_backups_shrink_the_spare_plane() {
+        let mut sb = ShareBackup::build(ShareBackupConfig::new(6, 1));
+        let full = BoostPotential::analyze(&sb);
+        // Consume pod 0's agg spare: the occupant *fails* (role swap alone
+        // would leave the evicted healthy switch in the pool).
+        let g = GroupId::agg(0);
+        let victim = sb.occupant(g.slot(0));
+        sb.set_phys_healthy(victim, false);
+        let spare = sb.spares(g)[0];
+        sb.replace(g.slot(0), spare);
+        let b = BoostPotential::analyze(&sb);
+        assert!(b.edge_agg_links < full.edge_agg_links);
+        assert!(b.agg_core_links < full.agg_core_links);
+    }
+
+    #[test]
+    fn non_uniform_pools_bound_by_the_smaller_side() {
+        // 2 edge spares but only 1 agg spare: pairing is bounded by 1.
+        let cfg = ShareBackupConfig::new(6, 1).with_backups(2, 1, 1);
+        let sb = ShareBackup::build(cfg);
+        let b = BoostPotential::analyze(&sb);
+        assert_eq!(b.edge_agg_links, (6 * 3));
+    }
+
+    #[test]
+    fn no_free_ports_on_regular_switches() {
+        let sb = ShareBackup::build(ShareBackupConfig::new(4, 1));
+        for (_, free) in free_ports_per_class(&sb) {
+            assert_eq!(free, 0, "every regular port is committed");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Controller-cluster failover (paper §5.1, "Controller failures").
+//!
+//! The logically centralized controller is a small cluster of replicas;
+//! switches and hosts report status to all of them simultaneously, so every
+//! replica has the state needed to take over. A primary is elected to react
+//! to failures; when it dies, another replica is elected.
+//!
+//! The election here is deterministic (lowest-id live replica wins), which
+//! is all the architecture requires — the paper leaves placement and
+//! coordination as open questions (§6).
+
+use sharebackup_sim::Duration;
+
+/// A replicated controller cluster.
+#[derive(Clone, Debug)]
+pub struct ControllerCluster {
+    up: Vec<bool>,
+    primary: Option<usize>,
+    elections: u64,
+    election_time: Duration,
+}
+
+impl ControllerCluster {
+    /// A cluster of `replicas` live replicas; replica 0 starts as primary.
+    ///
+    /// `election_time` models the leader-election delay charged whenever the
+    /// primary changes.
+    ///
+    /// # Panics
+    /// Panics if `replicas == 0`.
+    pub fn new(replicas: usize, election_time: Duration) -> ControllerCluster {
+        assert!(replicas > 0, "need at least one replica");
+        ControllerCluster {
+            up: vec![true; replicas],
+            primary: Some(0),
+            elections: 1,
+            election_time,
+        }
+    }
+
+    /// The current primary, if any replica is alive.
+    pub fn primary(&self) -> Option<usize> {
+        self.primary
+    }
+
+    /// Number of elections held (including the initial one).
+    pub fn elections(&self) -> u64 {
+        self.elections
+    }
+
+    /// Live replica count.
+    pub fn live_replicas(&self) -> usize {
+        self.up.iter().filter(|&&u| u).count()
+    }
+
+    /// Kill a replica. If it was the primary, an election runs and the
+    /// failover delay is returned; otherwise recovery capacity is
+    /// unaffected and `Duration::ZERO` is returned.
+    pub fn fail_replica(&mut self, id: usize) -> Duration {
+        self.up[id] = false;
+        if self.primary == Some(id) {
+            self.elect();
+            if self.primary.is_some() {
+                return self.election_time;
+            }
+        }
+        Duration::ZERO
+    }
+
+    /// Restore a replica (it rejoins as a follower).
+    pub fn restore_replica(&mut self, id: usize) {
+        self.up[id] = true;
+        if self.primary.is_none() {
+            self.elect();
+        }
+    }
+
+    fn elect(&mut self) {
+        self.primary = self.up.iter().position(|&u| u);
+        if self.primary.is_some() {
+            self.elections += 1;
+        }
+    }
+
+    /// Whether the control plane can currently react to failures.
+    pub fn available(&self) -> bool {
+        self.primary.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_primary_is_zero() {
+        let c = ControllerCluster::new(3, Duration::from_millis(50));
+        assert_eq!(c.primary(), Some(0));
+        assert!(c.available());
+        assert_eq!(c.elections(), 1);
+    }
+
+    #[test]
+    fn primary_failure_elects_next_live() {
+        let mut c = ControllerCluster::new(3, Duration::from_millis(50));
+        let delay = c.fail_replica(0);
+        assert_eq!(delay, Duration::from_millis(50));
+        assert_eq!(c.primary(), Some(1));
+        assert_eq!(c.elections(), 2);
+    }
+
+    #[test]
+    fn follower_failure_is_free() {
+        let mut c = ControllerCluster::new(3, Duration::from_millis(50));
+        let delay = c.fail_replica(2);
+        assert_eq!(delay, Duration::ZERO);
+        assert_eq!(c.primary(), Some(0));
+        assert_eq!(c.elections(), 1);
+    }
+
+    #[test]
+    fn total_loss_and_restore() {
+        let mut c = ControllerCluster::new(2, Duration::from_millis(10));
+        c.fail_replica(0);
+        c.fail_replica(1);
+        assert!(!c.available());
+        assert_eq!(c.live_replicas(), 0);
+        c.restore_replica(1);
+        assert!(c.available());
+        assert_eq!(c.primary(), Some(1));
+    }
+
+    #[test]
+    fn restored_replica_does_not_usurp() {
+        let mut c = ControllerCluster::new(2, Duration::from_millis(10));
+        c.fail_replica(0);
+        assert_eq!(c.primary(), Some(1));
+        c.restore_replica(0);
+        assert_eq!(c.primary(), Some(1), "no usurpation on rejoin");
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline failure diagnosis (paper §4.2, Fig. 4).
+//!
+//! After a link failure, *both* switches adjacent to the link are replaced
+//! immediately (fast recovery cannot wait to find out which end is at
+//! fault). In the background, the controller drives the diagnosis: the
+//! circuit switches of the pod's layer are chained in a ring through side
+//! ports, and through up to three circuit configurations the suspect
+//! interface is connected to three different test interfaces — on a backup
+//! switch through the same circuit switch, or on the suspect switch itself
+//! through a ring neighbor. The suspect exchanges test messages over each
+//! configuration; connectivity in **any** configuration redresses the
+//! interface (and its switch) as healthy.
+//!
+//! Diagnosis involves only offline switches (the replaced suspects and idle
+//! backups), so it never perturbs the live network.
+
+use sharebackup_topo::{PhysId, ShareBackup};
+
+/// Diagnosis verdict for a suspect interface.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// The interface demonstrated connectivity — suspect exonerated.
+    Healthy,
+    /// No configuration showed connectivity — the interface (and switch)
+    /// is treated as faulty.
+    Faulty,
+    /// No test configuration was available (e.g. no healthy partner
+    /// interface reachable); the paper's rule applies: treat as faulty.
+    Untestable,
+}
+
+impl Verdict {
+    /// Whether the suspect returns to the backup pool.
+    pub fn exonerated(self) -> bool {
+        matches!(self, Verdict::Healthy)
+    }
+}
+
+/// Result of diagnosing one suspect interface.
+#[derive(Clone, Debug)]
+pub struct DiagnosisReport {
+    /// The suspect switch.
+    pub suspect: PhysId,
+    /// The suspect interface index.
+    pub iface: usize,
+    /// Configurations attempted.
+    pub configs_tested: usize,
+    /// Configurations in which the interface had connectivity.
+    pub tests_passed: usize,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Run offline diagnosis for a suspect interface.
+///
+/// Each configuration is *physically executed* on the circuit switches
+/// ([`ShareBackup::run_diagnosis_test`]): the test circuit is set up
+/// (directly, or through the side-port ring), connectivity is exchanged,
+/// and the circuit is torn down. A test passes iff both the suspect
+/// interface and the partner interface actually work; a configuration that
+/// would disturb a live circuit is skipped — diagnosis is "completely
+/// independent of the functioning network" (§4.2). A partner on a dead
+/// switch never passes, reproducing the paper's requirement that "both
+/// sides have at least one healthy interface".
+pub fn diagnose(sb: &mut ShareBackup, suspect: PhysId, iface: usize) -> DiagnosisReport {
+    let configs = sb.diagnosis_configs(suspect, iface);
+    let mut tested = 0;
+    let mut passed = 0;
+    for cfg in &configs {
+        // `None` = the test would disturb live circuits: skipped.
+        if let Some(ok) = sb.run_diagnosis_test(suspect, iface, *cfg) {
+            tested += 1;
+            if ok {
+                passed += 1;
+            }
+        }
+    }
+    let verdict = if tested == 0 {
+        Verdict::Untestable
+    } else if passed > 0 {
+        Verdict::Healthy
+    } else {
+        Verdict::Faulty
+    };
+    DiagnosisReport {
+        suspect,
+        iface,
+        configs_tested: tested,
+        tests_passed: passed,
+        verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharebackup_topo::{GroupId, ShareBackupConfig};
+
+    fn sb() -> ShareBackup {
+        ShareBackup::build(ShareBackupConfig::new(6, 1))
+    }
+
+    /// Take a slot's occupant offline the way the controller does before
+    /// diagnosing: replace it with the group's spare. Returns the evicted
+    /// (now offline) suspect.
+    fn take_offline(sb: &mut ShareBackup, g: GroupId, slot: usize) -> sharebackup_topo::PhysId {
+        let victim = sb.occupant(g.slot(slot));
+        let spare = sb.spares(g)[0];
+        sb.replace(g.slot(slot), spare);
+        victim
+    }
+
+    #[test]
+    fn healthy_interface_is_exonerated() {
+        let mut sb = sb();
+        let agg = take_offline(&mut sb, GroupId::agg(0), 0);
+        let report = diagnose(&mut sb, agg, 3); // up-port, all healthy
+        assert_eq!(report.verdict, Verdict::Healthy);
+        assert!(report.tests_passed >= 1);
+        assert!(report.verdict.exonerated());
+    }
+
+    #[test]
+    fn broken_interface_is_convicted() {
+        let mut sb = sb();
+        let agg = take_offline(&mut sb, GroupId::agg(0), 0);
+        sb.set_iface_broken(agg, 3, true);
+        let report = diagnose(&mut sb, agg, 3);
+        assert_eq!(report.verdict, Verdict::Faulty);
+        assert_eq!(report.tests_passed, 0);
+        assert!(report.configs_tested >= 2, "ring tests must still run");
+        assert!(!report.verdict.exonerated());
+    }
+
+    #[test]
+    fn healthy_interface_survives_one_broken_partner() {
+        // A ring-neighbor partner interface is broken too, but the other
+        // configurations still prove the suspect healthy — the reason the
+        // paper uses 3 configurations.
+        let mut sb = sb();
+        let agg = take_offline(&mut sb, GroupId::agg(0), 0);
+        // Break a *different* up-port of the same switch (a ring partner).
+        sb.set_iface_broken(agg, 4, true);
+        let report = diagnose(&mut sb, agg, 3);
+        assert_eq!(report.verdict, Verdict::Healthy);
+        assert!(report.tests_passed < report.configs_tested);
+    }
+
+    #[test]
+    fn all_partners_broken_means_faulty_verdict() {
+        // "If this condition is not met, both suspect switches are
+        // considered faulty." Break every partner interface: the healthy
+        // suspect cannot be proven healthy.
+        let mut sb = sb();
+        let agg = take_offline(&mut sb, GroupId::agg(0), 0);
+        // Partners for agg up-port 3 (u=0): spare core of group 0 (its
+        // pod-0 interface) + own up-ports 4 and 5.
+        let spare_core = sb.spares(GroupId::core(0))[0];
+        sb.set_iface_broken(spare_core, 0, true);
+        sb.set_iface_broken(agg, 4, true);
+        sb.set_iface_broken(agg, 5, true);
+        let report = diagnose(&mut sb, agg, 3);
+        assert_eq!(report.verdict, Verdict::Faulty);
+    }
+
+    #[test]
+    fn dead_partner_switch_fails_its_test() {
+        let mut sb = sb();
+        let core = take_offline(&mut sb, GroupId::core(0), 0);
+        // Core's only partner is the spare agg of the pod; kill it. With no
+        // healthy partner available the suspect cannot be tested, and per
+        // §4.2 an untestable suspect is treated as faulty.
+        let spare_agg = sb.spares(GroupId::agg(2))[0];
+        sb.set_phys_healthy(spare_agg, false);
+        let report = diagnose(&mut sb, core, 2); // pod-2 interface
+        assert_eq!(report.verdict, Verdict::Untestable);
+        assert!(!report.verdict.exonerated());
+        assert_eq!(report.configs_tested, 0);
+    }
+
+    #[test]
+    fn dead_suspect_switch_is_faulty_on_every_config() {
+        let mut sb = sb();
+        let agg = take_offline(&mut sb, GroupId::agg(1), 1);
+        sb.set_phys_healthy(agg, false);
+        let report = diagnose(&mut sb, agg, 0);
+        assert_eq!(report.verdict, Verdict::Faulty);
+        assert_eq!(report.tests_passed, 0);
+    }
+
+    #[test]
+    fn diagnosing_an_online_switch_is_untestable() {
+        // The paper's safety rule, enforced mechanically: a switch still
+        // carrying live circuits cannot be probed.
+        let mut sb = sb();
+        let agg = sb.occupant(GroupId::agg(0).slot(0));
+        let report = diagnose(&mut sb, agg, 3);
+        assert_eq!(report.verdict, Verdict::Untestable);
+        assert_eq!(report.configs_tested, 0);
+    }
+
+    #[test]
+    fn diagnosis_leaves_live_circuits_untouched() {
+        let mut sb = sb();
+        let before = sb.derived_links();
+        let agg = take_offline(&mut sb, GroupId::agg(0), 0);
+        let links_after_replace = sb.derived_links();
+        diagnose(&mut sb, agg, 3);
+        assert_eq!(sb.derived_links(), links_after_replace);
+        assert_eq!(before.len(), links_after_replace.len());
+    }
+}

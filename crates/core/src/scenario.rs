@@ -1,0 +1,543 @@
+//! [`Environment`] implementations for the three compared systems.
+//!
+//! The Fig. 1-style experiments run the same trace through three worlds:
+//!
+//! * [`FatTreeWorld`] — plain fat-tree; on failure, global rerouting
+//!   (hash-based or load-aware "optimal") over the surviving paths.
+//! * [`F10World`] — the AB fat-tree with F10's local rerouting.
+//! * [`ShareBackupWorld`] — the slot fat-tree under the recovery
+//!   [`Controller`]: failures briefly down a slot, the controller swaps in
+//!   a backup after the modeled detection+recovery latency, and flows
+//!   resume **on their original paths** — no bandwidth loss, no dilation.
+//!
+//! Failure timelines are expressed as epoch events; the scenario builder
+//! helpers produce the matched `(events, epoch_times)` pair the
+//! [`sharebackup_flowsim::FlowSim`] consumes.
+
+use sharebackup_flowsim::Environment;
+use sharebackup_routing::{ecmp_path, ecmp::ecmp_path_f10, F10Router, FlowKey, GlobalReroute};
+use sharebackup_sim::{Duration, Time};
+use sharebackup_topo::{F10Topology, FatTree, LinkId, NodeId, PhysId, ShareBackup};
+
+use crate::controller::{Controller, Recovery};
+
+/// How a fat-tree world reacts to failures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecoveryMode {
+    /// No rerouting: flows on broken paths stall (lower bound).
+    None,
+    /// Hash-based rerouting over surviving shortest paths.
+    GlobalHash,
+    /// Load-aware global assignment over surviving paths ("global optimal
+    /// rerouting", the paper's fat-tree baseline).
+    GlobalOptimal,
+}
+
+/// Topology mutations applied at epochs.
+#[derive(Clone, Copy, Debug)]
+pub enum TopoEvent {
+    /// A switch dies.
+    FailNode(NodeId),
+    /// A link dies.
+    FailLink(LinkId),
+    /// A switch is repaired.
+    RepairNode(NodeId),
+    /// A link is repaired.
+    RepairLink(LinkId),
+}
+
+/// Plain fat-tree with rerouting-based recovery.
+pub struct FatTreeWorld {
+    /// The topology (failure state lives in `ft.net`).
+    pub ft: FatTree,
+    /// Recovery policy.
+    pub mode: RecoveryMode,
+    /// Event applied at epoch `i`.
+    pub events: Vec<TopoEvent>,
+    failures_active: usize,
+}
+
+impl FatTreeWorld {
+    /// A world over `ft` with the given recovery mode and epoch events.
+    pub fn new(ft: FatTree, mode: RecoveryMode, events: Vec<TopoEvent>) -> FatTreeWorld {
+        FatTreeWorld {
+            ft,
+            mode,
+            events,
+            failures_active: 0,
+        }
+    }
+
+    fn apply(&mut self, ev: TopoEvent) {
+        match ev {
+            TopoEvent::FailNode(n) => {
+                self.ft.net.set_node_up(n, false);
+                self.failures_active += 1;
+            }
+            TopoEvent::FailLink(l) => {
+                self.ft.net.set_link_up(l, false);
+                self.failures_active += 1;
+            }
+            TopoEvent::RepairNode(n) => {
+                self.ft.net.set_node_up(n, true);
+                self.failures_active = self.failures_active.saturating_sub(1);
+            }
+            TopoEvent::RepairLink(l) => {
+                self.ft.net.set_link_up(l, true);
+                self.failures_active = self.failures_active.saturating_sub(1);
+            }
+        }
+    }
+}
+
+impl Environment for FatTreeWorld {
+    fn capacity(&self, l: LinkId) -> f64 {
+        self.ft.net.link(l).capacity_bps
+    }
+    fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.ft.net.link_between(a, b)
+    }
+    fn route(&mut self, flow: &FlowKey) -> Option<Vec<NodeId>> {
+        if self.failures_active == 0 {
+            return Some(ecmp_path(&self.ft, flow));
+        }
+        match self.mode {
+            RecoveryMode::None => {
+                let p = ecmp_path(&self.ft, flow);
+                self.ft.net.path_usable(&p).then_some(p)
+            }
+            RecoveryMode::GlobalHash | RecoveryMode::GlobalOptimal => {
+                GlobalReroute::route(&self.ft, flow)
+            }
+        }
+    }
+    fn route_all(&mut self, flows: &[FlowKey]) -> Vec<Option<Vec<NodeId>>> {
+        if self.failures_active > 0 && self.mode == RecoveryMode::GlobalOptimal {
+            GlobalReroute::route_all(&self.ft, flows)
+        } else {
+            flows.iter().map(|f| self.route(f)).collect()
+        }
+    }
+    fn on_epoch(&mut self, index: usize, _now: Time) {
+        let ev = self.events[index];
+        self.apply(ev);
+    }
+}
+
+/// F10 AB fat-tree with local rerouting.
+pub struct F10World {
+    /// The topology (failure state lives in `f10.net`).
+    pub f10: F10Topology,
+    /// Event applied at epoch `i`.
+    pub events: Vec<TopoEvent>,
+    failures_active: usize,
+}
+
+impl F10World {
+    /// A world over `f10` with the given epoch events.
+    pub fn new(f10: F10Topology, events: Vec<TopoEvent>) -> F10World {
+        F10World {
+            f10,
+            events,
+            failures_active: 0,
+        }
+    }
+}
+
+impl Environment for F10World {
+    fn capacity(&self, l: LinkId) -> f64 {
+        self.f10.net.link(l).capacity_bps
+    }
+    fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.f10.net.link_between(a, b)
+    }
+    fn route(&mut self, flow: &FlowKey) -> Option<Vec<NodeId>> {
+        if self.failures_active == 0 {
+            return Some(ecmp_path_f10(&self.f10, flow));
+        }
+        F10Router::route(&self.f10, flow)
+    }
+    fn on_epoch(&mut self, index: usize, _now: Time) {
+        match self.events[index] {
+            TopoEvent::FailNode(n) => {
+                self.f10.net.set_node_up(n, false);
+                self.failures_active += 1;
+            }
+            TopoEvent::FailLink(l) => {
+                self.f10.net.set_link_up(l, false);
+                self.failures_active += 1;
+            }
+            TopoEvent::RepairNode(n) => {
+                self.f10.net.set_node_up(n, true);
+                self.failures_active = self.failures_active.saturating_sub(1);
+            }
+            TopoEvent::RepairLink(l) => {
+                self.f10.net.set_link_up(l, true);
+                self.failures_active = self.failures_active.saturating_sub(1);
+            }
+        }
+    }
+}
+
+/// Failure injections for a ShareBackup world, phrased against physical
+/// devices (the controller reacts at the following recovery epoch).
+#[derive(Clone, Copy, Debug)]
+pub enum SbEvent {
+    /// A physical switch dies.
+    NodeFail(PhysId),
+    /// A link between two switch interfaces dies: ground truth is that
+    /// `faulty.0`'s interface `faulty.1` broke; `other` is the far end.
+    LinkFail {
+        /// The actually-broken interface.
+        faulty: (PhysId, usize),
+        /// The innocent far end (also replaced, then exonerated).
+        other: (PhysId, usize),
+    },
+    /// A host↔edge link dies. `switch_side` selects the ground truth: the
+    /// edge switch's host-facing interface (replacement fixes it) or the
+    /// host's NIC (the switch gets exonerated and the host trouble-shot,
+    /// §4.2).
+    HostLinkFail {
+        /// The affected host.
+        host: NodeId,
+        /// Whether the switch-side interface is the broken one.
+        switch_side: bool,
+    },
+    /// The controller reacts to everything injected since the last
+    /// `Recover` (scheduled one recovery latency after the failure epoch).
+    Recover,
+    /// Complete due repairs.
+    PollRepairs,
+}
+
+/// The ShareBackup system under its controller.
+pub struct ShareBackupWorld {
+    /// The controller (owns the network).
+    pub controller: Controller,
+    /// Event applied at epoch `i`.
+    pub events: Vec<SbEvent>,
+    pending: Vec<SbEvent>,
+    /// Recoveries performed, for inspection by the harness.
+    pub recoveries: Vec<Recovery>,
+}
+
+impl ShareBackupWorld {
+    /// A world driven by `controller` with the given epoch events.
+    pub fn new(controller: Controller, events: Vec<SbEvent>) -> ShareBackupWorld {
+        ShareBackupWorld {
+            controller,
+            events,
+            pending: Vec::new(),
+            recoveries: Vec::new(),
+        }
+    }
+
+    /// The deterministic recovery latency of this deployment — scenario
+    /// builders use it to place the `Recover` epoch.
+    pub fn recovery_latency(&self) -> sharebackup_sim::Duration {
+        self.controller
+            .cfg
+            .latency
+            .total(crate::latency::RecoveryScheme::ShareBackup(
+                self.controller.sb.cfg.tech,
+            ))
+    }
+
+    fn sb(&self) -> &ShareBackup {
+        &self.controller.sb
+    }
+}
+
+impl Environment for ShareBackupWorld {
+    fn capacity(&self, l: LinkId) -> f64 {
+        self.sb().slots.net.link(l).capacity_bps
+    }
+    fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.sb().slots.net.link_between(a, b)
+    }
+    fn route(&mut self, flow: &FlowKey) -> Option<Vec<NodeId>> {
+        // ShareBackup never reroutes: the static ECMP path, usable or not.
+        // During the (sub-3ms) recovery window the path is down and the
+        // flow stalls; after recovery the *same* path works again.
+        let p = ecmp_path(&self.sb().slots, flow);
+        self.sb().slots.net.path_usable(&p).then_some(p)
+    }
+    fn on_epoch(&mut self, index: usize, now: Time) {
+        match self.events[index] {
+            SbEvent::NodeFail(p) => {
+                self.controller.sb.set_phys_healthy(p, false);
+                self.pending.push(SbEvent::NodeFail(p));
+            }
+            SbEvent::LinkFail { faulty, other } => {
+                self.controller.sb.set_iface_broken(faulty.0, faulty.1, true);
+                self.pending.push(SbEvent::LinkFail { faulty, other });
+            }
+            SbEvent::HostLinkFail { host, switch_side } => {
+                if switch_side {
+                    // The host's edge slot occupant's down-port h breaks.
+                    let (slot, h) = {
+                        let net = &self.controller.sb.slots.net;
+                        let l = net.incident(host)[0];
+                        let edge_node = net.link(l).other(host);
+                        let slot = self
+                            .controller
+                            .sb
+                            .node_slot(edge_node)
+                            .expect("host connects to an edge slot");
+                        (slot, net.node(host).index % (self.controller.sb.k() / 2))
+                    };
+                    let occ = self.controller.sb.occupant(slot);
+                    self.controller.sb.set_iface_broken(occ, h, true);
+                } else {
+                    self.controller.sb.set_host_nic_broken(host, true);
+                }
+                self.pending.push(SbEvent::HostLinkFail { host, switch_side });
+            }
+            SbEvent::Recover => {
+                let pending = std::mem::take(&mut self.pending);
+                for ev in pending {
+                    let r = match ev {
+                        SbEvent::NodeFail(p) => self.controller.handle_node_failure(p, now),
+                        SbEvent::LinkFail { faulty, other } => {
+                            self.controller.handle_link_failure(faulty, other, now)
+                        }
+                        SbEvent::HostLinkFail { host, .. } => {
+                            self.controller.handle_host_link_failure(host, now)
+                        }
+                        SbEvent::Recover | SbEvent::PollRepairs => continue,
+                    };
+                    self.recoveries.push(r);
+                }
+            }
+            SbEvent::PollRepairs => {
+                self.controller.poll_repairs(now);
+            }
+        }
+    }
+}
+
+/// Build the matched `(events, epoch_times)` pair for a set of ShareBackup
+/// failure injections: each failure epoch is followed by a `Recover` epoch
+/// one recovery latency later, and by `PollRepairs` epochs when the
+/// switch/host repair timers come due (so convicted switches rejoin the
+/// pool and trouble-shot hosts come back within the simulation).
+pub fn sharebackup_timeline(
+    world: &ShareBackupWorld,
+    failures: &[(Time, SbEvent)],
+) -> (Vec<SbEvent>, Vec<Time>) {
+    let lat = world.recovery_latency();
+    let cfg = &world.controller.cfg;
+    let mut pairs: Vec<(Time, SbEvent)> = Vec::with_capacity(failures.len() * 4);
+    for &(t, ev) in failures {
+        pairs.push((t, ev));
+        pairs.push((t + lat, SbEvent::Recover));
+        // Repairs are scheduled relative to the Recover instant; poll just
+        // after each possible due time.
+        let eps = Duration::from_millis(1);
+        pairs.push((t + lat + cfg.switch_repair_time + eps, SbEvent::PollRepairs));
+        pairs.push((t + lat + cfg.host_repair_time + eps, SbEvent::PollRepairs));
+    }
+    pairs.sort_by_key(|&(t, _)| t);
+    let times = pairs.iter().map(|&(t, _)| t).collect();
+    let events = pairs.into_iter().map(|(_, e)| e).collect();
+    (events, times)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ControllerConfig;
+    use sharebackup_flowsim::{FlowSim, FlowSpec};
+    use sharebackup_topo::{FatTreeConfig, GroupId, HostAddr, ShareBackupConfig};
+
+    fn flows_ft(ft: &FatTree, n: u64, bytes: u64) -> Vec<FlowSpec> {
+        (0..n)
+            .map(|id| FlowSpec {
+                key: FlowKey::new(
+                    ft.host(HostAddr { pod: 0, edge: 0, host: (id % 2) as usize }),
+                    ft.host(HostAddr { pod: 2, edge: 1, host: (id % 2) as usize }),
+                    id,
+                ),
+                bytes,
+                arrival: Time::ZERO,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fat_tree_world_baseline_and_failure() {
+        // Healthy run.
+        let ft = FatTree::build(FatTreeConfig::new(4));
+        let flows = flows_ft(&ft, 4, 125_000_000); // 1 Gbit each
+        let mut world = FatTreeWorld::new(ft, RecoveryMode::GlobalOptimal, vec![]);
+        let base = FlowSim::new().run(&mut world, &flows, &[]);
+        assert!(base.flows.iter().all(|f| f.completed.is_some()));
+
+        // Same run with a core failing at t=0.01s: flows finish but later.
+        let ft = FatTree::build(FatTreeConfig::new(4));
+        let core = ft.core(0);
+        let mut world = FatTreeWorld::new(
+            ft,
+            RecoveryMode::GlobalOptimal,
+            vec![TopoEvent::FailNode(core)],
+        );
+        let out = FlowSim::new().run(&mut world, &flows, &[Time::from_millis(10)]);
+        assert!(out.flows.iter().all(|f| f.completed.is_some()));
+        let t_base = base.flows.iter().filter_map(|f| f.completed).max().expect("flows ran");
+        let t_fail = out.flows.iter().filter_map(|f| f.completed).max().expect("flows ran");
+        // Global optimal rerouting *rebalances all flows* at the failure
+        // epoch, so it can even beat the hash-ECMP baseline despite the
+        // lost capacity; only gross speedups would indicate a bug.
+        assert!(
+            t_fail.as_secs_f64() >= t_base.as_secs_f64() * 0.5,
+            "implausible speedup under failure: {t_fail:?} vs {t_base:?}"
+        );
+    }
+
+    #[test]
+    fn f10_world_routes_through_detours() {
+        let f10 = F10Topology::build(FatTreeConfig::new(4));
+        let src = f10.host(HostAddr { pod: 0, edge: 0, host: 0 });
+        let dst = f10.host(HostAddr { pod: 1, edge: 1, host: 0 });
+        let flows: Vec<FlowSpec> = (0..2)
+            .map(|id| FlowSpec {
+                key: FlowKey::new(src, dst, id),
+                bytes: 1_250_000,
+                arrival: Time::ZERO,
+            })
+            .collect();
+        // Fail one core early.
+        let core = f10.core(0);
+        let mut world = F10World::new(f10, vec![TopoEvent::FailNode(core)]);
+        let out = FlowSim::new().run(&mut world, &flows, &[Time::from_millis(1)]);
+        assert!(out.flows.iter().all(|f| f.completed.is_some()));
+    }
+
+    #[test]
+    fn sharebackup_world_restores_original_path() {
+        let sb = ShareBackup::build(ShareBackupConfig::new(4, 1));
+        let controller = Controller::new(sb, ControllerConfig::default());
+        let mut world = ShareBackupWorld::new(controller, vec![]);
+
+        let src = world.sb().slots.host(HostAddr { pod: 0, edge: 0, host: 0 });
+        let dst = world.sb().slots.host(HostAddr { pod: 2, edge: 1, host: 0 });
+        let flow = FlowKey::new(src, dst, 7);
+        let original = world.route(&flow).expect("healthy route");
+        // Fail the aggregation slot on the flow's path.
+        let agg_node = original[2];
+        let slot = world.sb().node_slot(agg_node).expect("agg slot");
+        let victim = world.sb().occupant(slot);
+
+        let failures = vec![(Time::from_millis(10), SbEvent::NodeFail(victim))];
+        let (events, times) = sharebackup_timeline(&world, &failures);
+        world.events = events;
+
+        let flows = vec![FlowSpec {
+            key: flow,
+            bytes: 125_000_000,
+            arrival: Time::ZERO,
+        }];
+        let out = FlowSim::new().run(&mut world, &flows, &times);
+        assert!(out.flows[0].completed.is_some());
+        // The flow stalled briefly but came back on the SAME path.
+        assert!(out.flows[0].ever_stalled);
+        let after = world.route(&flow).expect("route after recovery");
+        assert_eq!(after, original, "no path change after recovery");
+        assert_eq!(world.recoveries.len(), 1);
+        assert!(world.recoveries[0].fully_recovered());
+        // The stall cost ~2ms on a 100ms transfer: completion within 5% of
+        // the no-failure time (0.1s at 10G... 1Gbit at 10G = 0.1s).
+        let t = out.flows[0].completed.expect("done");
+        assert!(t < Time::from_millis(110), "{t:?}");
+    }
+
+    #[test]
+    fn sharebackup_link_failure_timeline() {
+        let sb = ShareBackup::build(ShareBackupConfig::new(6, 1));
+        let controller = Controller::new(sb, ControllerConfig::default());
+        let mut world = ShareBackupWorld::new(controller, vec![]);
+        let edge_phys = world.sb().occupant(GroupId::edge(0).slot(0));
+        let agg_phys = world.sb().occupant(GroupId::agg(0).slot(0));
+        // Edge(0,0) up-port 0 ↔ agg(0,0) down-port 0 (m=0, k=6 → iface 3).
+        let failures = vec![(
+            Time::from_millis(5),
+            SbEvent::LinkFail {
+                faulty: (edge_phys, 3),
+                other: (agg_phys, 0),
+            },
+        )];
+        let (events, times) = sharebackup_timeline(&world, &failures);
+        world.events = events;
+        let src = world.sb().slots.host(HostAddr { pod: 0, edge: 0, host: 0 });
+        let dst = world.sb().slots.host(HostAddr { pod: 1, edge: 0, host: 0 });
+        let flows: Vec<FlowSpec> = (0..4)
+            .map(|id| FlowSpec {
+                key: FlowKey::new(src, dst, id),
+                bytes: 12_500_000,
+                arrival: Time::ZERO,
+            })
+            .collect();
+        let out = FlowSim::new().run(&mut world, &flows, &times);
+        assert!(out.flows.iter().all(|f| f.completed.is_some()));
+        // Diagnosis exonerated the agg side, convicted the edge side.
+        assert_eq!(world.controller.stats.exonerations, 1);
+        assert_eq!(world.controller.stats.convictions, 1);
+    }
+
+    #[test]
+    fn timeline_builder_interleaves_and_sorts() {
+        let sb = ShareBackup::build(ShareBackupConfig::new(4, 1));
+        let world = ShareBackupWorld::new(
+            Controller::new(sb, ControllerConfig::default()),
+            vec![],
+        );
+        let p = world.sb().occupant(GroupId::edge(0).slot(0));
+        let q = world.sb().occupant(GroupId::edge(1).slot(0));
+        let failures = vec![
+            (Time::from_secs(2), SbEvent::NodeFail(q)),
+            (Time::from_secs(1), SbEvent::NodeFail(p)),
+        ];
+        let (events, times) = sharebackup_timeline(&world, &failures);
+        // Per failure: inject + Recover + 2 PollRepairs.
+        assert_eq!(events.len(), 8);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(matches!(events[0], SbEvent::NodeFail(_)));
+        assert!(matches!(events[1], SbEvent::Recover));
+        let lat = world.recovery_latency();
+        assert_eq!(times[1], Time::from_secs(1) + lat);
+        let polls = events
+            .iter()
+            .filter(|e| matches!(e, SbEvent::PollRepairs))
+            .count();
+        assert_eq!(polls, 4);
+    }
+
+    #[test]
+    fn no_reroute_mode_stalls_until_repair() {
+        let ft = FatTree::build(FatTreeConfig::new(4));
+        let src = ft.host(HostAddr { pod: 0, edge: 0, host: 0 });
+        let dst = ft.host(HostAddr { pod: 1, edge: 0, host: 0 });
+        let flow = FlowKey::new(src, dst, 0);
+        let path = ecmp_path(&ft, &flow);
+        let core = path[3];
+        let flows = vec![FlowSpec {
+            key: flow,
+            bytes: 125_000_000, // 0.1 s at 10G
+            arrival: Time::ZERO,
+        }];
+        let mut world = FatTreeWorld::new(
+            ft,
+            RecoveryMode::None,
+            vec![TopoEvent::FailNode(core), TopoEvent::RepairNode(core)],
+        );
+        let out = FlowSim::new().run(
+            &mut world,
+            &flows,
+            &[Time::from_millis(10), Time::from_secs(60)],
+        );
+        // Stalled from 10ms to 60s, then finishes the remainder.
+        let t = out.flows[0].completed.expect("finishes after repair");
+        assert!(t > Time::from_secs(60));
+        assert!(out.flows[0].ever_stalled);
+    }
+}

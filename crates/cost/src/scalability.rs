@@ -1,0 +1,94 @@
+//! §5.3: scalability limits from circuit-switch port counts.
+//!
+//! ShareBackup's circuit switches need (k/2 + n + 2) ports per side, so the
+//! technology's port limit bounds the deployable (k, n) combinations:
+//! with 32-port 2D MEMS, k/2 + n + 2 ≤ 32 — k = 58 at n = 1 (over 48k
+//! hosts), or n = 6 at k = 48 (25% backup ratio). 256-port electrical
+//! crosspoint switches are nowhere near binding.
+
+use sharebackup_topo::CircuitTech;
+
+/// Scalability analysis for one circuit technology.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalabilityLimits {
+    /// The circuit-switch technology.
+    pub tech: CircuitTech,
+}
+
+impl ScalabilityLimits {
+    /// Analysis under `tech`'s port limit.
+    pub fn new(tech: CircuitTech) -> ScalabilityLimits {
+        ScalabilityLimits { tech }
+    }
+
+    /// Ports a ShareBackup(k, n) circuit switch needs per side.
+    pub fn ports_needed(k: usize, n: usize) -> usize {
+        k / 2 + n + 2
+    }
+
+    /// Whether (k, n) is deployable under this technology.
+    pub fn supports(&self, k: usize, n: usize) -> bool {
+        Self::ports_needed(k, n) <= self.tech.max_ports()
+    }
+
+    /// Largest even k deployable with the given n.
+    pub fn max_k(&self, n: usize) -> usize {
+        let budget = self.tech.max_ports().saturating_sub(n + 2);
+        2 * budget
+    }
+
+    /// Largest n deployable with the given k (0 means not deployable).
+    pub fn max_n(&self, k: usize) -> usize {
+        self.tech.max_ports().saturating_sub(k / 2 + 2)
+    }
+
+    /// Hosts of the largest deployable fat-tree with the given n.
+    pub fn max_hosts(&self, n: usize) -> usize {
+        let k = self.max_k(n);
+        k * k * k / 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mems_numbers() {
+        // §5.3: 32-port MEMS, n=1 → k=58, over 48k hosts, ratio 3.45%.
+        let s = ScalabilityLimits::new(CircuitTech::Mems2D);
+        assert_eq!(s.max_k(1), 58);
+        assert!(s.max_hosts(1) > 48_000);
+        let ratio: f64 = 1.0 / (58.0 / 2.0);
+        assert!((ratio - 0.0345).abs() < 0.0001);
+        // And n can reach 6 for k=48 (25% backup ratio).
+        assert_eq!(s.max_n(48), 6);
+        assert!(s.supports(48, 6));
+        assert!(!s.supports(48, 7));
+    }
+
+    #[test]
+    fn ports_needed_formula() {
+        assert_eq!(ScalabilityLimits::ports_needed(48, 1), 27);
+        assert_eq!(ScalabilityLimits::ports_needed(58, 1), 32);
+    }
+
+    #[test]
+    fn crosspoint_is_not_binding_for_realistic_k() {
+        let s = ScalabilityLimits::new(CircuitTech::Crosspoint);
+        assert!(s.supports(64, 8));
+        assert!(s.max_k(1) >= 256); // far beyond deployed fat-trees
+    }
+
+    #[test]
+    fn max_k_inverts_supports() {
+        for tech in [CircuitTech::Mems2D, CircuitTech::Crosspoint] {
+            let s = ScalabilityLimits::new(tech);
+            for n in 1..5 {
+                let k = s.max_k(n);
+                assert!(s.supports(k, n));
+                assert!(!s.supports(k + 2, n));
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # sharebackup-flowsim
+//!
+//! Flow-level network simulator for the ShareBackup reproduction.
+//!
+//! The paper's §2.2 failure study measures the *final state* of the network
+//! after failures, "without the transient dynamics" — which is precisely the
+//! fluid (flow-level) limit: every flow drains at its max-min fair share of
+//! the bottleneck capacity along its path. This crate implements:
+//!
+//! * [`maxmin`] — progressive-filling max-min fair allocation;
+//! * [`sim`] — the event-driven flow-progress simulation over an
+//!   [`sim::Environment`] (topology + routing policy), with *epochs* at which
+//!   the environment may mutate (failures, recoveries) and flows re-route;
+//! * [`coflow`] — coflow bookkeeping and Coflow Completion Time (CCT);
+//! * [`impact`] — the static affected-flow/affected-coflow metrics of
+//!   Fig. 1(a)/(b);
+//! * [`properties`] — the Table 3 property checks (bandwidth loss, path
+//!   dilation, upstream repair).
+
+pub mod coflow;
+pub mod impact;
+pub mod maxmin;
+pub mod properties;
+pub mod sim;
+
+pub use coflow::{Coflow, CoflowId, CoflowOutcome};
+pub use impact::ImpactReport;
+pub use maxmin::max_min_rates;
+pub use sim::{Environment, FlowOutcome, FlowSim, FlowSpec, SimOutcome};

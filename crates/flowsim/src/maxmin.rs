@@ -1,0 +1,216 @@
+//! Progressive-filling max-min fair bandwidth allocation.
+//!
+//! Given flows with fixed paths (as link-id lists) and link capacities, the
+//! allocation raises all rates together until a link saturates, freezes the
+//! flows crossing it, and repeats — the classic water-filling construction
+//! of the unique max-min fair allocation. This is the steady state that
+//! per-flow fair queueing (or long-run TCP with equal RTTs) converges to,
+//! and the fluid limit the paper's packet-level final-state measurements
+//! correspond to.
+
+use std::collections::HashMap;
+
+use sharebackup_topo::LinkId;
+
+/// Compute max-min fair rates.
+///
+/// * `flow_links[i]` — the links flow `i` traverses (must be non-empty for
+///   the flow to receive rate; an empty list gets `f64::INFINITY` since it
+///   consumes nothing).
+/// * `capacity(l)` — capacity of link `l` in bits/s.
+///
+/// Returns one rate per flow, in bits/s.
+pub fn max_min_rates(
+    flow_links: &[Vec<LinkId>],
+    mut capacity: impl FnMut(LinkId) -> f64,
+) -> Vec<f64> {
+    let n = flow_links.len();
+    let mut rate = vec![0.0_f64; n];
+    let mut active: Vec<bool> = flow_links.iter().map(|ls| !ls.is_empty()).collect();
+    for (i, ls) in flow_links.iter().enumerate() {
+        if ls.is_empty() {
+            rate[i] = f64::INFINITY;
+        }
+    }
+
+    // Per-link state: remaining headroom and active-flow count.
+    let mut headroom: HashMap<LinkId, f64> = HashMap::new();
+    let mut count: HashMap<LinkId, u32> = HashMap::new();
+    for (i, links) in flow_links.iter().enumerate() {
+        if !active[i] {
+            continue;
+        }
+        for &l in links {
+            headroom.entry(l).or_insert_with(|| capacity(l));
+            *count.entry(l).or_insert(0) += 1;
+        }
+    }
+
+    let mut remaining: usize = active.iter().filter(|&&a| a).count();
+    while remaining > 0 {
+        // Smallest equal increment any active flow can absorb.
+        let mut delta = f64::INFINITY;
+        for (l, &c) in &count {
+            if c > 0 {
+                let share = headroom[l] / c as f64;
+                if share < delta {
+                    delta = share;
+                }
+            }
+        }
+        if !delta.is_finite() {
+            break; // defensive: no constraining links left
+        }
+        // Raise every active flow by delta and drain the links.
+        for (i, links) in flow_links.iter().enumerate() {
+            if !active[i] {
+                continue;
+            }
+            rate[i] += delta;
+            for &l in links {
+                *headroom.get_mut(&l).expect("seen link") -= delta * 1.0;
+            }
+        }
+        // Freeze flows on saturated links.
+        const EPS_FRACTION: f64 = 1e-9;
+        let saturated: Vec<LinkId> = headroom
+            .iter()
+            .filter(|(l, &h)| count[l] > 0 && h <= EPS_FRACTION * delta.max(1.0))
+            .map(|(&l, _)| l)
+            .collect();
+        let mut frozen_any = false;
+        for (i, links) in flow_links.iter().enumerate() {
+            if !active[i] {
+                continue;
+            }
+            if links.iter().any(|l| saturated.contains(l)) {
+                active[i] = false;
+                frozen_any = true;
+                remaining -= 1;
+                for &l in links {
+                    *count.get_mut(&l).expect("seen link") -= 1;
+                }
+            }
+        }
+        if !frozen_any {
+            // Numerical safety: freeze everything at current rates rather
+            // than loop forever.
+            for (i, links) in flow_links.iter().enumerate() {
+                if active[i] {
+                    active[i] = false;
+                    remaining -= 1;
+                    for &l in links {
+                        *count.get_mut(&l).expect("seen link") -= 1;
+                    }
+                }
+            }
+        }
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> LinkId {
+        LinkId(i)
+    }
+
+    #[test]
+    fn single_bottleneck_shares_equally() {
+        let flows = vec![vec![l(0)], vec![l(0)], vec![l(0)], vec![l(0)]];
+        let rates = max_min_rates(&flows, |_| 10.0);
+        for r in rates {
+            assert!((r - 2.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn classic_three_flow_example() {
+        // Flow A uses links 0 and 1, flow B uses link 0, flow C uses link 1.
+        // cap(0) = 1, cap(1) = 2. Max-min: A = B = 0.5 (link 0 saturates),
+        // then C fills link 1 to 1.5.
+        let flows = vec![vec![l(0), l(1)], vec![l(0)], vec![l(1)]];
+        let rates = max_min_rates(&flows, |l| if l.0 == 0 { 1.0 } else { 2.0 });
+        assert!((rates[0] - 0.5).abs() < 1e-9, "{rates:?}");
+        assert!((rates[1] - 0.5).abs() < 1e-9, "{rates:?}");
+        assert!((rates[2] - 1.5).abs() < 1e-9, "{rates:?}");
+    }
+
+    #[test]
+    fn disjoint_flows_get_full_capacity() {
+        let flows = vec![vec![l(0)], vec![l(1)]];
+        let rates = max_min_rates(&flows, |l| (l.0 + 1) as f64);
+        assert!((rates[0] - 1.0).abs() < 1e-9);
+        assert!((rates[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_path_is_unconstrained() {
+        let flows = vec![vec![], vec![l(0)]];
+        let rates = max_min_rates(&flows, |_| 5.0);
+        assert!(rates[0].is_infinite());
+        assert!((rates[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_flows_is_fine() {
+        let rates = max_min_rates(&[], |_| 1.0);
+        assert!(rates.is_empty());
+    }
+
+    #[test]
+    fn allocation_is_feasible_and_saturating() {
+        // Random-ish structured instance: verify feasibility (no link over
+        // capacity) and max-min optimality witness (every flow is blocked by
+        // some saturated link).
+        let flows: Vec<Vec<LinkId>> = (0..20)
+            .map(|i| {
+                vec![
+                    l(i % 5),
+                    l(5 + (i * 7) % 3),
+                    l(8 + (i * 3) % 4),
+                ]
+            })
+            .collect();
+        let cap = |link: LinkId| 1.0 + (link.0 % 4) as f64;
+        let rates = max_min_rates(&flows, cap);
+        // Feasibility.
+        let mut usage: HashMap<LinkId, f64> = HashMap::new();
+        for (i, links) in flows.iter().enumerate() {
+            for &link in links {
+                *usage.entry(link).or_insert(0.0) += rates[i];
+            }
+        }
+        for (&link, &u) in &usage {
+            assert!(u <= cap(link) + 1e-6, "link {link:?} over capacity");
+        }
+        // Max-min witness: every flow crosses a saturated link.
+        for links in &flows {
+            let blocked = links
+                .iter()
+                .any(|link| usage[link] >= cap(*link) - 1e-6);
+            assert!(blocked, "flow not blocked by any saturated link");
+        }
+    }
+
+    #[test]
+    fn fair_share_respects_weights_of_path_length() {
+        // A long flow crossing two congested links gets the min of its
+        // bottleneck shares, not less.
+        let flows = vec![
+            vec![l(0), l(1)],
+            vec![l(0)],
+            vec![l(0)],
+            vec![l(1)],
+        ];
+        let rates = max_min_rates(&flows, |_| 3.0);
+        // Link 0: three flows → share 1 each; link 1: long flow frozen at 1,
+        // flow 3 takes remaining 2.
+        assert!((rates[0] - 1.0).abs() < 1e-9);
+        assert!((rates[1] - 1.0).abs() < 1e-9);
+        assert!((rates[2] - 1.0).abs() < 1e-9);
+        assert!((rates[3] - 2.0).abs() < 1e-9);
+    }
+}

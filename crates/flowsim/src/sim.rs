@@ -1,0 +1,536 @@
+//! Event-driven flow-progress simulation.
+//!
+//! The simulation advances from rate-change point to rate-change point:
+//! flow arrivals, flow completions, and *epochs* — instants at which the
+//! environment mutates (a failure strikes, the controller recovers it) and
+//! all live flows are re-routed under the environment's policy. Between
+//! events every flow drains at its max-min fair rate.
+//!
+//! The [`Environment`] trait is the seam between this simulator and the
+//! topology/routing crates: fat-tree + global rerouting, F10 + local
+//! rerouting, and ShareBackup + the recovery controller each implement it.
+
+use std::collections::HashMap;
+
+use sharebackup_routing::FlowKey;
+use sharebackup_sim::{Duration, Time};
+use sharebackup_topo::{LinkId, NodeId};
+
+use crate::maxmin::max_min_rates;
+
+/// One flow to simulate.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Endpoints and id.
+    pub key: FlowKey,
+    /// Bytes to transfer.
+    pub bytes: u64,
+    /// Arrival instant.
+    pub arrival: Time,
+}
+
+/// The world a [`FlowSim`] runs against.
+pub trait Environment {
+    /// Capacity of a link, bits per second.
+    fn capacity(&self, l: LinkId) -> f64;
+
+    /// The link joining two adjacent path nodes, if it exists.
+    fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId>;
+
+    /// Route a flow under the current state. `None` = currently
+    /// unroutable (the flow stalls; it is retried at the next epoch).
+    fn route(&mut self, flow: &FlowKey) -> Option<Vec<NodeId>>;
+
+    /// Batch routing hook for policies that assign flows jointly (global
+    /// optimal rerouting). Default: route each flow independently.
+    fn route_all(&mut self, flows: &[FlowKey]) -> Vec<Option<Vec<NodeId>>> {
+        flows.iter().map(|f| self.route(f)).collect()
+    }
+
+    /// Mutate the world at epoch `index` (failure injection, recovery, …).
+    fn on_epoch(&mut self, index: usize, now: Time);
+}
+
+/// Per-flow result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowOutcome {
+    /// Completion instant, if the flow finished before the horizon.
+    pub completed: Option<Time>,
+    /// Bytes actually delivered.
+    pub delivered: u64,
+    /// Whether the flow was ever stalled (no route) during its life.
+    pub ever_stalled: bool,
+    /// Whether the flow's path *changed* after it had one (resuming a
+    /// stalled flow on the same path does not count).
+    pub rerouted: bool,
+}
+
+/// Result of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// Outcome per input flow, same order as the input.
+    pub flows: Vec<FlowOutcome>,
+    /// Instant at which the simulation stopped.
+    pub finished_at: Time,
+    /// Bits carried per link over the whole run (for utilization reports).
+    pub link_bits: HashMap<LinkId, f64>,
+}
+
+impl SimOutcome {
+    /// Flow completion time (arrival → completion) of flow `i`.
+    pub fn fct(&self, specs: &[FlowSpec], i: usize) -> Option<Duration> {
+        self.flows[i].completed.map(|t| t.since(specs[i].arrival))
+    }
+
+    /// Mean utilization of `link` over the run: bits carried divided by
+    /// `capacity_bps · run length`.
+    pub fn utilization(&self, link: LinkId, capacity_bps: f64) -> f64 {
+        let bits = self.link_bits.get(&link).copied().unwrap_or(0.0);
+        let span = self.finished_at.as_secs_f64();
+        if span <= 0.0 || capacity_bps <= 0.0 {
+            0.0
+        } else {
+            bits / (capacity_bps * span)
+        }
+    }
+
+    /// The most-utilized links, as (link, bits) pairs sorted descending.
+    pub fn hottest_links(&self, top: usize) -> Vec<(LinkId, f64)> {
+        let mut v: Vec<(LinkId, f64)> = self
+            .link_bits
+            .iter()
+            .map(|(&l, &b)| (l, b))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+        v.truncate(top);
+        v
+    }
+}
+
+struct LiveFlow {
+    index: usize,
+    key: FlowKey,
+    remaining: f64, // bits
+    links: Vec<LinkId>,
+    stalled: bool,
+}
+
+/// The flow-level simulator.
+pub struct FlowSim {
+    /// Stop simulating at this instant (flows still running get
+    /// `completed: None` but keep their delivered byte counts).
+    pub horizon: Time,
+}
+
+impl Default for FlowSim {
+    fn default() -> Self {
+        FlowSim { horizon: Time::MAX }
+    }
+}
+
+fn links_of_path(env: &impl Environment, path: &[NodeId]) -> Vec<LinkId> {
+    path.windows(2)
+        .map(|w| {
+            env.link_between(w[0], w[1])
+                .expect("route returned a non-adjacent hop")
+        })
+        .collect()
+}
+
+impl FlowSim {
+    /// A simulator with no horizon.
+    pub fn new() -> FlowSim {
+        FlowSim::default()
+    }
+
+    /// A simulator that stops at `horizon`.
+    pub fn with_horizon(horizon: Time) -> FlowSim {
+        FlowSim { horizon }
+    }
+
+    /// Run `flows` against `env`, applying `env.on_epoch(i, t)` at each
+    /// `epochs[i]` (must be sorted ascending) and re-routing all live and
+    /// stalled flows afterwards.
+    pub fn run(
+        &self,
+        env: &mut impl Environment,
+        flows: &[FlowSpec],
+        epochs: &[Time],
+    ) -> SimOutcome {
+        assert!(
+            epochs.windows(2).all(|w| w[0] <= w[1]),
+            "epochs must be sorted"
+        );
+        let mut outcome: Vec<FlowOutcome> = flows
+            .iter()
+            .map(|_| FlowOutcome {
+                completed: None,
+                delivered: 0,
+                ever_stalled: false,
+                rerouted: false,
+            })
+            .collect();
+
+        let mut order: Vec<usize> = (0..flows.len()).collect();
+        order.sort_by_key(|&i| flows[i].arrival);
+        let mut next_arrival = 0usize;
+        let mut next_epoch = 0usize;
+        let mut live: Vec<LiveFlow> = Vec::new();
+        let mut now = Time::ZERO;
+        let mut link_bits: HashMap<LinkId, f64> = HashMap::new();
+
+        loop {
+            // Max-min rates for the current live set (stalled flows get 0).
+            let link_lists: Vec<Vec<LinkId>> = live
+                .iter()
+                .map(|f| if f.stalled { Vec::new() } else { f.links.clone() })
+                .collect();
+            let raw = max_min_rates(&link_lists, |l| env.capacity(l));
+            let rates: Vec<f64> = live
+                .iter()
+                .zip(&raw)
+                .map(|(f, &r)| if f.stalled { 0.0 } else { r })
+                .collect();
+
+            // Candidate next-event instants. Completion deltas are clamped
+            // to ≥ 1 ns: float residue in `remaining` must never produce a
+            // zero-delta event, which would stall virtual time forever.
+            let completion: Option<Time> = live
+                .iter()
+                .zip(&rates)
+                .filter(|(_, &r)| r > 0.0)
+                .map(|(f, &r)| {
+                    let dt = Duration::from_secs_f64(f.remaining / r);
+                    now + dt.max(Duration::from_nanos(1))
+                })
+                .min();
+            let arrival = order.get(next_arrival).map(|&i| flows[i].arrival);
+            let epoch = epochs.get(next_epoch).copied();
+
+            let next_t = [completion, arrival, epoch]
+                .into_iter()
+                .flatten()
+                .min();
+            let Some(next_t) = next_t else {
+                break; // nothing will ever happen again
+            };
+            if next_t > self.horizon {
+                // Drain until the horizon, then stop.
+                let dt = self.horizon.saturating_since(now).as_secs_f64();
+                for (f, &r) in live.iter_mut().zip(&rates) {
+                    f.remaining = (f.remaining - r * dt).max(0.0);
+                    for &l in &f.links {
+                        *link_bits.entry(l).or_insert(0.0) += r * dt;
+                    }
+                }
+                now = self.horizon;
+                break;
+            }
+
+            // Advance. The epsilon is generous (1 millibit) — any flow that
+            // close to done at its own completion instant *is* done; keeping
+            // a sub-nanosecond-of-traffic residue alive only breeds
+            // zero-progress events.
+            let dt = next_t.since(now).as_secs_f64();
+            for (f, &r) in live.iter_mut().zip(&rates) {
+                f.remaining -= r * dt;
+                if f.remaining < 1e-3 {
+                    f.remaining = 0.0;
+                }
+                if r > 0.0 {
+                    for &l in &f.links {
+                        *link_bits.entry(l).or_insert(0.0) += r * dt;
+                    }
+                }
+            }
+            now = next_t;
+
+            // 1. Completions.
+            let mut j = 0;
+            while j < live.len() {
+                if live[j].remaining == 0.0 {
+                    let f = live.swap_remove(j);
+                    outcome[f.index].completed = Some(now);
+                    outcome[f.index].delivered = flows[f.index].bytes;
+                } else {
+                    j += 1;
+                }
+            }
+
+            // 2. Epochs due now (before arrivals, so new flows route under
+            //    the post-epoch state).
+            let mut epoch_fired = false;
+            while next_epoch < epochs.len() && epochs[next_epoch] <= now {
+                env.on_epoch(next_epoch, now);
+                next_epoch += 1;
+                epoch_fired = true;
+            }
+            if epoch_fired {
+                let keys: Vec<FlowKey> = live.iter().map(|f| f.key).collect();
+                let routes = env.route_all(&keys);
+                for (f, route) in live.iter_mut().zip(routes) {
+                    match route {
+                        Some(path) => {
+                            let links = links_of_path(env, &path);
+                            // "Rerouted" = the path changed after the flow
+                            // had one. Resuming a stalled flow on the same
+                            // path (ShareBackup) is not a reroute.
+                            if !f.links.is_empty() && links != f.links {
+                                outcome[f.index].rerouted = true;
+                            }
+                            f.links = links;
+                            f.stalled = false;
+                        }
+                        None => {
+                            f.stalled = true;
+                            outcome[f.index].ever_stalled = true;
+                        }
+                    }
+                }
+            }
+
+            // 3. Arrivals due now.
+            while next_arrival < order.len() && flows[order[next_arrival]].arrival <= now {
+                let idx = order[next_arrival];
+                next_arrival += 1;
+                let key = flows[idx].key;
+                let bits = flows[idx].bytes as f64 * 8.0;
+                if bits == 0.0 {
+                    outcome[idx].completed = Some(now);
+                    continue;
+                }
+                match env.route(&key) {
+                    Some(path) => {
+                        let links = links_of_path(env, &path);
+                        live.push(LiveFlow {
+                            index: idx,
+                            key,
+                            remaining: bits,
+                            links,
+                            stalled: false,
+                        });
+                    }
+                    None => {
+                        outcome[idx].ever_stalled = true;
+                        live.push(LiveFlow {
+                            index: idx,
+                            key,
+                            remaining: bits,
+                            links: Vec::new(),
+                            stalled: true,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Delivered bytes for unfinished flows.
+        let remaining_by_index: HashMap<usize, f64> =
+            live.iter().map(|f| (f.index, f.remaining)).collect();
+        for (i, out) in outcome.iter_mut().enumerate() {
+            if out.completed.is_none() {
+                if let Some(&rem) = remaining_by_index.get(&i) {
+                    let sent_bits = flows[i].bytes as f64 * 8.0 - rem;
+                    out.delivered = (sent_bits / 8.0).floor().max(0.0) as u64;
+                }
+            }
+        }
+        SimOutcome {
+            flows: outcome,
+            finished_at: now,
+            link_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A line network: h0 — s — h1, plus a second host pair sharing the
+    /// middle link. Capacities in bits/s for easy arithmetic.
+    struct LineEnv {
+        net: sharebackup_topo::Network,
+        /// Paths to hand out, keyed by flow id. `None` = unroutable.
+        paths: HashMap<u64, Option<Vec<NodeId>>>,
+        epoch_log: Vec<(usize, Time)>,
+        /// When an epoch fires, switch flow routes to these.
+        after_epoch: HashMap<u64, Option<Vec<NodeId>>>,
+    }
+
+    impl Environment for LineEnv {
+        fn capacity(&self, l: LinkId) -> f64 {
+            self.net.link(l).capacity_bps
+        }
+        fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+            self.net.link_between(a, b)
+        }
+        fn route(&mut self, flow: &FlowKey) -> Option<Vec<NodeId>> {
+            self.paths.get(&flow.id).cloned().flatten()
+        }
+        fn on_epoch(&mut self, index: usize, now: Time) {
+            self.epoch_log.push((index, now));
+            for (id, p) in self.after_epoch.drain() {
+                self.paths.insert(id, p);
+            }
+        }
+    }
+
+    fn line_env() -> (LineEnv, Vec<NodeId>) {
+        use sharebackup_topo::NodeKind;
+        let mut net = sharebackup_topo::Network::new();
+        let h0 = net.add_node(NodeKind::Host, None, 0);
+        let h1 = net.add_node(NodeKind::Host, None, 1);
+        let s = net.add_node(NodeKind::Edge, None, 0);
+        net.add_link(h0, s, 8.0); // 1 byte/s
+        net.add_link(s, h1, 8.0);
+        (
+            LineEnv {
+                net,
+                paths: HashMap::new(),
+                epoch_log: Vec::new(),
+                after_epoch: HashMap::new(),
+            },
+            vec![h0, h1, s],
+        )
+    }
+
+    fn spec(h0: NodeId, h1: NodeId, id: u64, bytes: u64, at: Time) -> FlowSpec {
+        FlowSpec {
+            key: FlowKey::new(h0, h1, id),
+            bytes,
+            arrival: at,
+        }
+    }
+
+    #[test]
+    fn single_flow_completes_at_capacity() {
+        let (mut env, n) = line_env();
+        env.paths.insert(0, Some(vec![n[0], n[2], n[1]]));
+        let flows = vec![spec(n[0], n[1], 0, 10, Time::ZERO)];
+        let out = FlowSim::new().run(&mut env, &flows, &[]);
+        // 10 bytes at 1 byte/s → 10 s.
+        assert_eq!(out.flows[0].completed, Some(Time::from_secs(10)));
+        assert_eq!(out.flows[0].delivered, 10);
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        let (mut env, n) = line_env();
+        env.paths.insert(0, Some(vec![n[0], n[2], n[1]]));
+        env.paths.insert(1, Some(vec![n[0], n[2], n[1]]));
+        let flows = vec![
+            spec(n[0], n[1], 0, 10, Time::ZERO),
+            spec(n[0], n[1], 1, 10, Time::ZERO),
+        ];
+        let out = FlowSim::new().run(&mut env, &flows, &[]);
+        // Both share 1 byte/s → each takes 20 s.
+        assert_eq!(out.flows[0].completed, Some(Time::from_secs(20)));
+        assert_eq!(out.flows[1].completed, Some(Time::from_secs(20)));
+    }
+
+    #[test]
+    fn short_flow_finishing_speeds_up_the_other() {
+        let (mut env, n) = line_env();
+        env.paths.insert(0, Some(vec![n[0], n[2], n[1]]));
+        env.paths.insert(1, Some(vec![n[0], n[2], n[1]]));
+        let flows = vec![
+            spec(n[0], n[1], 0, 5, Time::ZERO),
+            spec(n[0], n[1], 1, 10, Time::ZERO),
+        ];
+        let out = FlowSim::new().run(&mut env, &flows, &[]);
+        // Share 0.5 B/s until flow 0 finishes at 10 s (5 B). Flow 1 has 5 B
+        // left, then runs at 1 B/s → finishes at 15 s.
+        assert_eq!(out.flows[0].completed, Some(Time::from_secs(10)));
+        assert_eq!(out.flows[1].completed, Some(Time::from_secs(15)));
+    }
+
+    #[test]
+    fn late_arrival_changes_rates() {
+        let (mut env, n) = line_env();
+        env.paths.insert(0, Some(vec![n[0], n[2], n[1]]));
+        env.paths.insert(1, Some(vec![n[0], n[2], n[1]]));
+        let flows = vec![
+            spec(n[0], n[1], 0, 10, Time::ZERO),
+            spec(n[0], n[1], 1, 10, Time::from_secs(5)),
+        ];
+        let out = FlowSim::new().run(&mut env, &flows, &[]);
+        // Flow 0: 5 B alone (5 s), then shares: 5 B at 0.5 B/s → t=15.
+        // Flow 1: from t=5 shares 0.5 B/s for 10 s → 5 B by t=15, then
+        // alone at 1 B/s for remaining 5 B → t=20.
+        assert_eq!(out.flows[0].completed, Some(Time::from_secs(15)));
+        assert_eq!(out.flows[1].completed, Some(Time::from_secs(20)));
+    }
+
+    #[test]
+    fn unroutable_flow_stalls_until_epoch_restores_it() {
+        let (mut env, n) = line_env();
+        env.paths.insert(0, None); // failed at arrival
+        env.after_epoch.insert(0, Some(vec![n[0], n[2], n[1]]));
+        let flows = vec![spec(n[0], n[1], 0, 10, Time::ZERO)];
+        let out = FlowSim::new().run(&mut env, &flows, &[Time::from_secs(7)]);
+        // Stalled for 7 s, then 10 s of transfer.
+        assert_eq!(out.flows[0].completed, Some(Time::from_secs(17)));
+        assert!(out.flows[0].ever_stalled);
+        // Gaining a first path after an arrival-stall is not a reroute.
+        assert!(!out.flows[0].rerouted);
+        assert_eq!(env.epoch_log, vec![(0, Time::from_secs(7))]);
+    }
+
+    #[test]
+    fn permanently_stalled_flow_never_completes() {
+        let (mut env, n) = line_env();
+        env.paths.insert(0, None);
+        let flows = vec![spec(n[0], n[1], 0, 10, Time::ZERO)];
+        let out = FlowSim::new().run(&mut env, &flows, &[]);
+        assert_eq!(out.flows[0].completed, None);
+        assert_eq!(out.flows[0].delivered, 0);
+    }
+
+    #[test]
+    fn horizon_cuts_off_and_reports_partial_delivery() {
+        let (mut env, n) = line_env();
+        env.paths.insert(0, Some(vec![n[0], n[2], n[1]]));
+        let flows = vec![spec(n[0], n[1], 0, 100, Time::ZERO)];
+        let out = FlowSim::with_horizon(Time::from_secs(30)).run(&mut env, &flows, &[]);
+        assert_eq!(out.flows[0].completed, None);
+        assert_eq!(out.flows[0].delivered, 30);
+        assert_eq!(out.finished_at, Time::from_secs(30));
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_on_arrival() {
+        let (mut env, n) = line_env();
+        env.paths.insert(0, Some(vec![n[0], n[2], n[1]]));
+        let flows = vec![spec(n[0], n[1], 0, 0, Time::from_secs(3))];
+        let out = FlowSim::new().run(&mut env, &flows, &[]);
+        assert_eq!(out.flows[0].completed, Some(Time::from_secs(3)));
+    }
+
+    #[test]
+    fn utilization_accounting_matches_bytes_sent() {
+        let (mut env, n) = line_env();
+        env.paths.insert(0, Some(vec![n[0], n[2], n[1]]));
+        let flows = vec![spec(n[0], n[1], 0, 10, Time::ZERO)];
+        let out = FlowSim::new().run(&mut env, &flows, &[]);
+        // Both links carried all 80 bits.
+        let l0 = env.net.link_between(n[0], n[2]).expect("link");
+        let l1 = env.net.link_between(n[2], n[1]).expect("link");
+        assert!((out.link_bits[&l0] - 80.0).abs() < 1e-6);
+        assert!((out.link_bits[&l1] - 80.0).abs() < 1e-6);
+        // Full utilization over the 10 s run at 8 bps.
+        assert!((out.utilization(l0, 8.0) - 1.0).abs() < 1e-9);
+        let hottest = out.hottest_links(1);
+        assert_eq!(hottest.len(), 1);
+        assert!((hottest[0].1 - 80.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fct_helper_subtracts_arrival() {
+        let (mut env, n) = line_env();
+        env.paths.insert(0, Some(vec![n[0], n[2], n[1]]));
+        let flows = vec![spec(n[0], n[1], 0, 10, Time::from_secs(100))];
+        let out = FlowSim::new().run(&mut env, &flows, &[]);
+        assert_eq!(out.fct(&flows, 0), Some(Duration::from_secs(10)));
+    }
+}

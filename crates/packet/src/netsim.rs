@@ -1,0 +1,621 @@
+//! The packet-level network simulation: queues, links, forwarding, and the
+//! event loop gluing transports to the wire.
+//!
+//! Forwarding is source-routed: each flow carries the node path the routing
+//! crate selected (data forward, ACKs on the reverse path), so the packet
+//! simulator exercises exactly the paths the flow-level simulator assumed —
+//! which is what makes cross-validation between the two meaningful.
+//!
+//! Failure realism: packets are dropped when they meet a down link (at
+//! enqueue or at transmission end), when a drop-tail queue overflows, and
+//! when they belong to a stale path version after a re-route.
+
+use std::collections::VecDeque;
+
+use sharebackup_sim::{Duration, Engine, Time, World};
+use sharebackup_topo::{LinkId, Network, NodeId};
+
+use crate::transport::{Receiver, RenoFlow};
+
+/// Wire/protocol constants of the simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct PacketNetConfig {
+    /// Maximum segment size (payload bytes).
+    pub mss: u32,
+    /// Per-segment header overhead on the wire, bytes.
+    pub header_bytes: u32,
+    /// ACK packet wire size, bytes.
+    pub ack_bytes: u32,
+    /// Drop-tail queue capacity per output port, packets.
+    pub queue_packets: usize,
+    /// Per-link propagation delay.
+    pub prop_delay: Duration,
+    /// Retransmission timeout (fixed; generations handle staleness).
+    pub rto: Duration,
+}
+
+impl Default for PacketNetConfig {
+    fn default() -> Self {
+        PacketNetConfig {
+            mss: 1460,
+            header_bytes: 40,
+            ack_bytes: 64,
+            queue_packets: 64,
+            prop_delay: Duration::from_micros(5),
+            rto: Duration::from_millis(10),
+        }
+    }
+}
+
+/// One flow to simulate at packet level.
+#[derive(Clone, Debug)]
+pub struct PktFlowSpec {
+    /// Node path from source host to destination host (inclusive).
+    pub path: Vec<NodeId>,
+    /// Bytes to transfer.
+    pub bytes: u64,
+    /// Start instant.
+    pub start: Time,
+}
+
+/// Mid-run events.
+#[derive(Clone, Debug)]
+pub enum PktEvent {
+    /// A link goes down (packets meeting it are lost).
+    FailLink(LinkId),
+    /// A link comes back.
+    RepairLink(LinkId),
+    /// A node goes down (its links become unusable).
+    FailNode(NodeId),
+    /// A node comes back.
+    RepairNode(NodeId),
+    /// Re-route a flow (None = no path; the flow stalls and retries via
+    /// RTO until a later `SetPath` restores one). In-flight packets of the
+    /// old path are lost.
+    SetPath {
+        /// Flow index.
+        flow: usize,
+        /// New path, or `None` while unroutable.
+        path: Option<Vec<NodeId>>,
+    },
+}
+
+/// Per-flow result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PktFlowOutcome {
+    /// When the last byte was acknowledged, if the flow finished.
+    pub completed: Option<Time>,
+    /// Bytes received in order at the destination.
+    pub delivered: u64,
+    /// Fast retransmissions.
+    pub retransmits: u64,
+    /// RTO events.
+    pub timeouts: u64,
+}
+
+#[derive(Clone, Debug)]
+struct QPacket {
+    flow: usize,
+    seq: u64,
+    len: u32,
+    wire: u32,
+    ack: bool,
+    hop: usize,
+    ver: u32,
+}
+
+struct DirState {
+    queue: VecDeque<QPacket>,
+    busy: bool,
+}
+
+struct FlowState {
+    path: Option<Vec<NodeId>>,
+    rev: Option<Vec<NodeId>>,
+    sender: RenoFlow,
+    receiver: Receiver,
+    completed: Option<Time>,
+    armed_gen: Option<u64>,
+    ver: u32,
+    started: bool,
+}
+
+enum Ev {
+    Start(usize),
+    TxDone(usize),
+    Arrive(QPacket),
+    Rto { flow: usize, gen: u64 },
+    Topo(usize),
+}
+
+/// The packet-level simulator.
+pub struct PacketSim {
+    /// Configuration.
+    pub cfg: PacketNetConfig,
+}
+
+struct NetWorld {
+    cfg: PacketNetConfig,
+    net: Network,
+    dirs: Vec<DirState>,
+    flows: Vec<FlowState>,
+    events: Vec<Option<PktEvent>>,
+    drops: u64,
+}
+
+impl PacketSim {
+    /// A simulator with the given configuration.
+    pub fn new(cfg: PacketNetConfig) -> PacketSim {
+        PacketSim { cfg }
+    }
+
+    /// Run flows over (a clone of) `net` until `horizon`, applying
+    /// `events[i].1` at `events[i].0`. Returns one outcome per flow plus
+    /// the total packet-drop count.
+    pub fn run(
+        &self,
+        net: &Network,
+        flows: &[PktFlowSpec],
+        events: Vec<(Time, PktEvent)>,
+        horizon: Time,
+    ) -> (Vec<PktFlowOutcome>, u64) {
+        let mut engine: Engine<Ev> = Engine::new();
+        engine.set_horizon(horizon);
+        let mut world = NetWorld {
+            cfg: self.cfg,
+            net: net.clone(),
+            dirs: (0..net.link_count() * 2)
+                .map(|_| DirState {
+                    queue: VecDeque::new(),
+                    busy: false,
+                })
+                .collect(),
+            flows: flows
+                .iter()
+                .map(|s| FlowState {
+                    path: Some(s.path.clone()),
+                    rev: Some(s.path.iter().rev().copied().collect()),
+                    sender: RenoFlow::new(s.bytes, self.cfg.mss),
+                    receiver: Receiver::new(),
+                    completed: None,
+                    armed_gen: None,
+                    ver: 0,
+                    started: false,
+                })
+                .collect(),
+            events: events.iter().map(|(_, e)| Some(e.clone())).collect(),
+            drops: 0,
+        };
+        for (i, s) in flows.iter().enumerate() {
+            engine.schedule(s.start, Ev::Start(i));
+        }
+        for (i, (t, _)) in events.iter().enumerate() {
+            engine.schedule(*t, Ev::Topo(i));
+        }
+        engine.run(&mut world);
+        let outcomes = world
+            .flows
+            .iter()
+            .map(|f| PktFlowOutcome {
+                completed: f.completed,
+                delivered: f.receiver.expected().min(f.sender.total_bytes),
+                retransmits: f.sender.retransmits(),
+                timeouts: f.sender.timeouts(),
+            })
+            .collect();
+        (outcomes, world.drops)
+    }
+}
+
+impl NetWorld {
+    fn dir_index(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        let l = self.net.link_between(from, to)?;
+        let link = self.net.link(l);
+        let d = if link.a == from { 0 } else { 1 };
+        Some((l.0 as usize) * 2 + d)
+    }
+
+    fn link_of_dir(&self, dir: usize) -> LinkId {
+        LinkId((dir / 2) as u32)
+    }
+
+    /// Wire time of a packet on a link.
+    fn tx_time(&self, dir: usize, wire: u32) -> Duration {
+        let cap = self.net.link(self.link_of_dir(dir)).capacity_bps;
+        Duration::from_secs_f64(wire as f64 * 8.0 / cap)
+    }
+
+    /// Enqueue `pkt` for its next hop; drops on down links / full queues.
+    fn forward(&mut self, engine: &mut Engine<Ev>, pkt: QPacket) {
+        let flow = &self.flows[pkt.flow];
+        if pkt.ver != flow.ver {
+            self.drops += 1;
+            return;
+        }
+        let path = if pkt.ack { &flow.rev } else { &flow.path };
+        let Some(path) = path else {
+            self.drops += 1;
+            return;
+        };
+        let (from, to) = (path[pkt.hop], path[pkt.hop + 1]);
+        let Some(dir) = self.dir_index(from, to) else {
+            self.drops += 1;
+            return;
+        };
+        if !self.net.link_usable(self.link_of_dir(dir)) {
+            self.drops += 1;
+            return;
+        }
+        if self.dirs[dir].queue.len() >= self.cfg.queue_packets {
+            self.drops += 1;
+            return;
+        }
+        self.dirs[dir].queue.push_back(pkt);
+        if !self.dirs[dir].busy {
+            self.start_tx(engine, dir);
+        }
+    }
+
+    fn start_tx(&mut self, engine: &mut Engine<Ev>, dir: usize) {
+        let wire = self.dirs[dir]
+            .queue
+            .front()
+            .expect("start_tx on empty queue")
+            .wire;
+        self.dirs[dir].busy = true;
+        engine.schedule_in(self.tx_time(dir, wire), Ev::TxDone(dir));
+    }
+
+    /// Send whatever the window permits and (re)arm the RTO.
+    fn pump(&mut self, engine: &mut Engine<Ev>, flow: usize, now: Time) {
+        let ver = self.flows[flow].ver;
+        let sends = self.flows[flow].sender.take_sends();
+        for (seq, len) in sends {
+            let wire = len + self.cfg.header_bytes;
+            self.forward(
+                engine,
+                QPacket {
+                    flow,
+                    seq,
+                    len,
+                    wire,
+                    ack: false,
+                    hop: 0,
+                    ver,
+                },
+            );
+        }
+        self.arm_rto(engine, flow, now);
+    }
+
+    fn arm_rto(&mut self, engine: &mut Engine<Ev>, flow: usize, _now: Time) {
+        let f = &mut self.flows[flow];
+        if f.sender.finished() {
+            return;
+        }
+        let gen = f.sender.rto_generation();
+        if f.armed_gen == Some(gen) {
+            return;
+        }
+        f.armed_gen = Some(gen);
+        let rto = self.cfg.rto * f.sender.rto_multiplier() as u64;
+        engine.schedule_in(rto, Ev::Rto { flow, gen });
+    }
+
+    fn apply_topo(&mut self, ev: PktEvent) {
+        match ev {
+            PktEvent::FailLink(l) => self.net.set_link_up(l, false),
+            PktEvent::RepairLink(l) => self.net.set_link_up(l, true),
+            PktEvent::FailNode(n) => self.net.set_node_up(n, false),
+            PktEvent::RepairNode(n) => self.net.set_node_up(n, true),
+            PktEvent::SetPath { flow, path } => {
+                let f = &mut self.flows[flow];
+                f.rev = path.as_ref().map(|p| p.iter().rev().copied().collect());
+                f.path = path;
+                f.ver += 1; // in-flight packets of the old path are lost
+            }
+        }
+    }
+}
+
+impl World<Ev> for NetWorld {
+    fn handle(&mut self, engine: &mut Engine<Ev>, now: Time, ev: Ev) {
+        match ev {
+            Ev::Start(i) => {
+                self.flows[i].started = true;
+                self.pump(engine, i, now);
+            }
+            Ev::TxDone(dir) => {
+                let pkt = self.dirs[dir]
+                    .queue
+                    .pop_front()
+                    .expect("TxDone with empty queue");
+                self.dirs[dir].busy = false;
+                // The packet survives only if the link is still up.
+                if self.net.link_usable(self.link_of_dir(dir)) {
+                    let mut pkt = pkt;
+                    pkt.hop += 1;
+                    engine.schedule_in(self.cfg.prop_delay, Ev::Arrive(pkt));
+                } else {
+                    self.drops += 1;
+                }
+                if !self.dirs[dir].queue.is_empty() {
+                    self.start_tx(engine, dir);
+                }
+            }
+            Ev::Arrive(pkt) => {
+                let flow_idx = pkt.flow;
+                // Stale-path packets are lost.
+                if pkt.ver != self.flows[flow_idx].ver {
+                    self.drops += 1;
+                    return;
+                }
+                let path_len = {
+                    let f = &self.flows[flow_idx];
+                    let p = if pkt.ack { &f.rev } else { &f.path };
+                    p.as_ref().map(|p| p.len()).unwrap_or(0)
+                };
+                if path_len == 0 {
+                    self.drops += 1;
+                    return;
+                }
+                if pkt.hop + 1 < path_len {
+                    // Transit node: forward along the path.
+                    self.forward(engine, pkt);
+                    return;
+                }
+                if pkt.ack {
+                    // ACK reached the sender.
+                    let fast_rtx = self.flows[flow_idx].sender.on_ack(pkt.seq);
+                    if self.flows[flow_idx].sender.finished() {
+                        if self.flows[flow_idx].completed.is_none() {
+                            self.flows[flow_idx].completed = Some(now);
+                        }
+                        return;
+                    }
+                    let _ = fast_rtx; // rolled-back next_seq makes pump resend
+                    self.pump(engine, flow_idx, now);
+                } else {
+                    // Data reached the receiver: emit a cumulative ACK.
+                    let ackno = self.flows[flow_idx].receiver.on_segment(pkt.seq, pkt.len);
+                    let ver = self.flows[flow_idx].ver;
+                    self.forward(
+                        engine,
+                        QPacket {
+                            flow: flow_idx,
+                            seq: ackno,
+                            len: 0,
+                            wire: self.cfg.ack_bytes,
+                            ack: true,
+                            hop: 0,
+                            ver,
+                        },
+                    );
+                }
+            }
+            Ev::Rto { flow, gen } => {
+                let f = &mut self.flows[flow];
+                if f.sender.finished() || f.sender.rto_generation() != gen {
+                    return;
+                }
+                f.sender.on_rto();
+                f.armed_gen = None;
+                self.pump(engine, flow, now);
+            }
+            Ev::Topo(i) => {
+                if let Some(ev) = self.events[i].take() {
+                    self.apply_topo(ev);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharebackup_topo::NodeKind;
+
+    /// h0 — s0 — s1 — h1 line, 100 Mbps links.
+    fn line() -> (Network, Vec<NodeId>) {
+        let mut net = Network::new();
+        let h0 = net.add_node(NodeKind::Host, None, 0);
+        let s0 = net.add_node(NodeKind::Edge, None, 0);
+        let s1 = net.add_node(NodeKind::Edge, None, 1);
+        let h1 = net.add_node(NodeKind::Host, None, 1);
+        net.add_link(h0, s0, 100e6);
+        net.add_link(s0, s1, 100e6);
+        net.add_link(s1, h1, 100e6);
+        (net, vec![h0, s0, s1, h1])
+    }
+
+    /// Two hosts on each side of a shared bottleneck.
+    fn dumbbell() -> (Network, Vec<NodeId>) {
+        let mut net = Network::new();
+        let h0 = net.add_node(NodeKind::Host, None, 0);
+        let h1 = net.add_node(NodeKind::Host, None, 1);
+        let s0 = net.add_node(NodeKind::Edge, None, 0);
+        let s1 = net.add_node(NodeKind::Edge, None, 1);
+        let h2 = net.add_node(NodeKind::Host, None, 2);
+        let h3 = net.add_node(NodeKind::Host, None, 3);
+        net.add_link(h0, s0, 1e9);
+        net.add_link(h1, s0, 1e9);
+        net.add_link(s0, s1, 100e6); // bottleneck
+        net.add_link(s1, h2, 1e9);
+        net.add_link(s1, h3, 1e9);
+        (net, vec![h0, h1, s0, s1, h2, h3])
+    }
+
+    #[test]
+    fn single_flow_achieves_near_line_rate() {
+        let (net, n) = line();
+        let flows = vec![PktFlowSpec {
+            path: vec![n[0], n[1], n[2], n[3]],
+            bytes: 1_250_000, // 0.1 s at 100 Mbps
+            start: Time::ZERO,
+        }];
+        let (out, _drops) =
+            PacketSim::new(PacketNetConfig::default()).run(&net, &flows, vec![], Time::from_secs(10));
+        let t = out[0].completed.expect("finishes");
+        let goodput = 1_250_000.0 * 8.0 / t.as_secs_f64();
+        assert!(
+            goodput > 55e6,
+            "goodput {goodput:.0} too low (slow start + acks overhead expected)"
+        );
+        assert_eq!(out[0].delivered, 1_250_000);
+    }
+
+    #[test]
+    fn two_flows_share_bottleneck_roughly_fairly() {
+        let (net, n) = dumbbell();
+        let flows = vec![
+            PktFlowSpec {
+                path: vec![n[0], n[2], n[3], n[4]],
+                bytes: 2_000_000,
+                start: Time::ZERO,
+            },
+            PktFlowSpec {
+                path: vec![n[1], n[2], n[3], n[5]],
+                bytes: 2_000_000,
+                start: Time::ZERO,
+            },
+        ];
+        let (out, _) = PacketSim::new(PacketNetConfig::default()).run(
+            &net,
+            &flows,
+            vec![],
+            Time::from_secs(30),
+        );
+        let t0 = out[0].completed.expect("f0 done").as_secs_f64();
+        let t1 = out[1].completed.expect("f1 done").as_secs_f64();
+        // Equal demands sharing one bottleneck: completion within 2× of
+        // each other (AIMD fairness is approximate).
+        let ratio = t0.max(t1) / t0.min(t1);
+        assert!(ratio < 2.0, "unfair sharing: {t0} vs {t1}");
+        // And both significantly slower than a lone flow would be.
+        assert!(t0.max(t1) > 0.25, "two 2MB flows over 100Mbps take > 0.25s");
+    }
+
+    #[test]
+    fn link_failure_stalls_flow_and_repair_revives_it() {
+        let (net, n) = line();
+        let l = net.link_between(n[1], n[2]).expect("middle link");
+        let flows = vec![PktFlowSpec {
+            path: vec![n[0], n[1], n[2], n[3]],
+            bytes: 2_500_000, // 0.2 s at 100 Mbps
+            start: Time::ZERO,
+        }];
+        let events = vec![
+            (Time::from_millis(50), PktEvent::FailLink(l)),
+            (Time::from_millis(250), PktEvent::RepairLink(l)),
+        ];
+        let (out, drops) = PacketSim::new(PacketNetConfig::default()).run(
+            &net,
+            &flows,
+            events,
+            Time::from_secs(30),
+        );
+        let t = out[0].completed.expect("finishes after repair");
+        assert!(t > Time::from_millis(250), "cannot finish while down: {t:?}");
+        assert!(out[0].timeouts >= 1, "RTO must fire during the outage");
+        assert!(drops > 0);
+        assert_eq!(out[0].delivered, 2_500_000);
+    }
+
+    #[test]
+    fn permanent_failure_leaves_flow_unfinished() {
+        let (net, n) = line();
+        let l = net.link_between(n[1], n[2]).expect("middle link");
+        let flows = vec![PktFlowSpec {
+            path: vec![n[0], n[1], n[2], n[3]],
+            bytes: 10_000_000,
+            start: Time::ZERO,
+        }];
+        let events = vec![(Time::from_millis(10), PktEvent::FailLink(l))];
+        let (out, _) = PacketSim::new(PacketNetConfig::default()).run(
+            &net,
+            &flows,
+            events,
+            Time::from_secs(2),
+        );
+        assert_eq!(out[0].completed, None);
+        assert!(out[0].delivered < 10_000_000);
+    }
+
+    #[test]
+    fn reroute_via_setpath_recovers_delivery() {
+        // Diamond: h0 - s0 - {s1|s2} - s3 - h1.
+        let mut net = Network::new();
+        let h0 = net.add_node(NodeKind::Host, None, 0);
+        let s0 = net.add_node(NodeKind::Edge, None, 0);
+        let s1 = net.add_node(NodeKind::Agg, None, 1);
+        let s2 = net.add_node(NodeKind::Agg, None, 2);
+        let s3 = net.add_node(NodeKind::Edge, None, 3);
+        let h1 = net.add_node(NodeKind::Host, None, 1);
+        net.add_link(h0, s0, 100e6);
+        net.add_link(s0, s1, 100e6);
+        net.add_link(s0, s2, 100e6);
+        net.add_link(s1, s3, 100e6);
+        net.add_link(s2, s3, 100e6);
+        net.add_link(s3, h1, 100e6);
+        let via_s1 = vec![h0, s0, s1, s3, h1];
+        let via_s2 = vec![h0, s0, s2, s3, h1];
+        let flows = vec![PktFlowSpec {
+            path: via_s1,
+            bytes: 2_500_000,
+            start: Time::ZERO,
+        }];
+        let events = vec![
+            (Time::from_millis(50), PktEvent::FailNode(s1)),
+            (
+                Time::from_millis(60),
+                PktEvent::SetPath {
+                    flow: 0,
+                    path: Some(via_s2),
+                },
+            ),
+        ];
+        let (out, _) = PacketSim::new(PacketNetConfig::default()).run(
+            &net,
+            &flows,
+            events,
+            Time::from_secs(10),
+        );
+        let t = out[0].completed.expect("finishes on detour");
+        assert!(t > Time::from_millis(60));
+        assert!(t < Time::from_secs(1), "{t:?}");
+    }
+
+    #[test]
+    fn drops_occur_under_incast_overload() {
+        // Four senders into one 100 Mbps sink link with small queues.
+        let mut net = Network::new();
+        let mut hosts = Vec::new();
+        let s0 = net.add_node(NodeKind::Edge, None, 0);
+        let s1 = net.add_node(NodeKind::Edge, None, 1);
+        net.add_link(s0, s1, 100e6);
+        let sink = net.add_node(NodeKind::Host, None, 99);
+        net.add_link(s1, sink, 100e6);
+        for i in 0..4 {
+            let h = net.add_node(NodeKind::Host, None, i);
+            net.add_link(h, s0, 1e9);
+            hosts.push(h);
+        }
+        let flows: Vec<PktFlowSpec> = hosts
+            .iter()
+            .map(|&h| PktFlowSpec {
+                path: vec![h, s0, s1, sink],
+                bytes: 1_000_000,
+                start: Time::ZERO,
+            })
+            .collect();
+        let cfg = PacketNetConfig {
+            queue_packets: 16,
+            ..PacketNetConfig::default()
+        };
+        let (out, drops) = PacketSim::new(cfg).run(&net, &flows, vec![], Time::from_secs(30));
+        assert!(drops > 0, "incast must overflow the small queue");
+        assert!(out.iter().all(|o| o.completed.is_some()));
+        assert!(out.iter().any(|o| o.retransmits + o.timeouts > 0));
+    }
+}

@@ -1,0 +1,137 @@
+//! Strongly-typed identifiers used throughout the topology crates.
+//!
+//! All identifiers are small arena indices; newtypes keep host, link, slot,
+//! physical-switch, and group index spaces from being mixed up at compile
+//! time.
+
+use std::fmt;
+
+/// Index of a node (host or switch slot) in a [`crate::graph::Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Index of a link in a [`crate::graph::Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+/// Identifier of a *physical* packet switch in a ShareBackup network.
+///
+/// Physical switches occupy slots or sit as spares; they are what fails,
+/// gets diagnosed, repaired, and reused — distinct from the logical
+/// [`SlotId`] positions the data plane routes over.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysId(pub u32);
+
+/// Which layer of the fat-tree a failure group protects.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum GroupKind {
+    /// Edge switches of one pod.
+    Edge,
+    /// Aggregation switches of one pod.
+    Agg,
+    /// Core switches with index ≡ u (mod k/2).
+    Core,
+}
+
+/// A failure group: the unit of backup sharing (paper §3).
+///
+/// * `Edge`/`Agg` groups are indexed by pod.
+/// * `Core` groups are indexed by the residue u ∈ [0, k/2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId {
+    /// The protected layer.
+    pub kind: GroupKind,
+    /// Pod index (edge/agg groups) or core residue (core groups).
+    pub index: usize,
+}
+
+/// A logical switch position in the fat-tree: slot `slot` of group `group`.
+///
+/// Slot `(EdgeGroup(i), j)` is the fat-tree position E_{i,j}; whichever
+/// physical switch currently occupies it carries E_{i,j}'s routing identity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId {
+    /// The failure group this slot belongs to.
+    pub group: GroupId,
+    /// Position within the group, in `[0, k/2)`.
+    pub slot: usize,
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+impl fmt::Debug for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+impl fmt::Debug for PhysId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sw{}", self.0)
+    }
+}
+impl fmt::Debug for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            GroupKind::Edge => write!(f, "FG-edge[pod{}]", self.index),
+            GroupKind::Agg => write!(f, "FG-agg[pod{}]", self.index),
+            GroupKind::Core => write!(f, "FG-core[u{}]", self.index),
+        }
+    }
+}
+impl fmt::Debug for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}#{}", self.group, self.slot)
+    }
+}
+
+impl GroupId {
+    /// Edge-layer group of pod `pod`.
+    pub fn edge(pod: usize) -> GroupId {
+        GroupId {
+            kind: GroupKind::Edge,
+            index: pod,
+        }
+    }
+    /// Aggregation-layer group of pod `pod`.
+    pub fn agg(pod: usize) -> GroupId {
+        GroupId {
+            kind: GroupKind::Agg,
+            index: pod,
+        }
+    }
+    /// Core-layer group with residue `u`.
+    pub fn core(u: usize) -> GroupId {
+        GroupId {
+            kind: GroupKind::Core,
+            index: u,
+        }
+    }
+    /// Slot `slot` of this group.
+    pub fn slot(self, slot: usize) -> SlotId {
+        SlotId { group: self, slot }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_constructors() {
+        assert_eq!(GroupId::edge(3).kind, GroupKind::Edge);
+        assert_eq!(GroupId::agg(3).index, 3);
+        assert_eq!(GroupId::core(1).kind, GroupKind::Core);
+        let s = GroupId::edge(2).slot(4);
+        assert_eq!(s.slot, 4);
+        assert_eq!(s.group, GroupId::edge(2));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", NodeId(7)), "n7");
+        assert_eq!(format!("{:?}", GroupId::core(2).slot(1)), "FG-core[u2]#1");
+    }
+}

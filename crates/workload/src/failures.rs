@@ -1,0 +1,251 @@
+//! Failure injection following the paper's failure model.
+//!
+//! Gill et al. (SIGCOMM'11), which the paper leans on throughout: failures
+//! in data centers are *rare* (most devices have >99.99% availability),
+//! *transient* (most last only a few minutes), and *independent*. The §2.2
+//! study therefore injects exactly one node or link failure per 5-minute
+//! trace partition; the capacity analysis (§5.1) sizes the backup pool
+//! against the 0.01% failure rate.
+//!
+//! This module provides both: single-failure scenario sampling for the
+//! Fig. 1 harness, and a Poisson failure/repair process for long-running
+//! simulations.
+
+use sharebackup_sim::{Duration, SimRng, Time};
+use sharebackup_topo::{LinkId, Network, NodeId};
+
+/// What failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureKind {
+    /// A whole switch died.
+    Node(NodeId),
+    /// A single link died.
+    Link(LinkId),
+}
+
+/// One failure with its outage window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// What failed.
+    pub kind: FailureKind,
+    /// When it fails.
+    pub at: Time,
+    /// How long until repaired.
+    pub duration: Duration,
+}
+
+impl FailureEvent {
+    /// The repair instant.
+    pub fn repaired_at(&self) -> Time {
+        self.at + self.duration
+    }
+}
+
+/// Samples failures over a network.
+pub struct FailureInjector {
+    switches: Vec<NodeId>,
+    fabric_links: Vec<LinkId>,
+}
+
+impl FailureInjector {
+    /// Build an injector for `net`. Candidate node failures are switches
+    /// (hosts don't "fail" in the paper's model); candidate link failures
+    /// are all links, including host links (the paper's §4.2 discusses
+    /// host-edge link failures explicitly).
+    pub fn new(net: &Network) -> FailureInjector {
+        let switches = net
+            .node_ids()
+            .filter(|&n| net.node(n).kind.is_switch())
+            .collect();
+        let fabric_links = net.link_ids().collect();
+        FailureInjector {
+            switches,
+            fabric_links,
+        }
+    }
+
+    /// Number of switch candidates.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of link candidates.
+    pub fn link_count(&self) -> usize {
+        self.fabric_links.len()
+    }
+
+    /// Sample `count` distinct switch failures.
+    pub fn sample_nodes(&self, rng: &mut SimRng, count: usize) -> Vec<NodeId> {
+        rng.sample_indices(self.switches.len(), count)
+            .into_iter()
+            .map(|i| self.switches[i])
+            .collect()
+    }
+
+    /// Sample `count` distinct link failures.
+    pub fn sample_links(&self, rng: &mut SimRng, count: usize) -> Vec<LinkId> {
+        rng.sample_indices(self.fabric_links.len(), count)
+            .into_iter()
+            .map(|i| self.fabric_links[i])
+            .collect()
+    }
+
+    /// The paper's §2.2 scenario: a single failure at `at` lasting
+    /// `duration` (default: strikes early in a 5-minute partition, outlasts
+    /// it).
+    pub fn single_failure(
+        &self,
+        rng: &mut SimRng,
+        node: bool,
+        at: Time,
+        duration: Duration,
+    ) -> FailureEvent {
+        let kind = if node {
+            FailureKind::Node(self.sample_nodes(rng, 1)[0])
+        } else {
+            FailureKind::Link(self.sample_links(rng, 1)[0])
+        };
+        FailureEvent { kind, at, duration }
+    }
+
+    /// A Poisson failure process over `horizon`: each event picks a random
+    /// element (node with probability `node_fraction`), exponential
+    /// inter-arrival with mean `mean_interarrival`, and exponential outage
+    /// with mean `mean_duration` (the paper: "a few minutes").
+    /// Events are returned sorted by failure time.
+    pub fn poisson_process(
+        &self,
+        rng: &mut SimRng,
+        horizon: Time,
+        mean_interarrival: Duration,
+        mean_duration: Duration,
+        node_fraction: f64,
+    ) -> Vec<FailureEvent> {
+        let mut events = Vec::new();
+        let mut t = 0.0_f64;
+        loop {
+            t += rng.exponential(mean_interarrival.as_secs_f64());
+            let at = Time::from_secs_f64(t);
+            if at > horizon {
+                break;
+            }
+            let duration =
+                Duration::from_secs_f64(rng.exponential(mean_duration.as_secs_f64()));
+            let kind = if rng.chance(node_fraction) {
+                FailureKind::Node(self.sample_nodes(rng, 1)[0])
+            } else {
+                FailureKind::Link(self.sample_links(rng, 1)[0])
+            };
+            events.push(FailureEvent { kind, at, duration });
+        }
+        events
+    }
+
+    /// Apply a failure to the network state.
+    pub fn apply(net: &mut Network, kind: FailureKind) {
+        match kind {
+            FailureKind::Node(n) => net.set_node_up(n, false),
+            FailureKind::Link(l) => net.set_link_up(l, false),
+        }
+    }
+
+    /// Undo a failure (repair).
+    pub fn repair(net: &mut Network, kind: FailureKind) {
+        match kind {
+            FailureKind::Node(n) => net.set_node_up(n, true),
+            FailureKind::Link(l) => net.set_link_up(l, true),
+        }
+    }
+}
+
+/// Count of switches implied by a device availability figure: with
+/// availability `a` (e.g. 0.9999), the expected fraction of switches down
+/// at any instant is `1 - a` — the number the paper's §5.1 compares the
+/// backup ratio n/(k/2) against.
+pub fn expected_down_fraction(availability: f64) -> f64 {
+    (1.0 - availability).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharebackup_topo::{FatTree, FatTreeConfig, NodeKind};
+
+    fn inj() -> (FatTree, FailureInjector) {
+        let ft = FatTree::build(FatTreeConfig::new(4));
+        let inj = FailureInjector::new(&ft.net);
+        (ft, inj)
+    }
+
+    #[test]
+    fn candidates_counted_correctly() {
+        let (_ft, inj) = inj();
+        // k=4: 8 edge + 8 agg + 4 core switches, 16 + 32 links.
+        assert_eq!(inj.switch_count(), 20);
+        assert_eq!(inj.link_count(), 48);
+    }
+
+    #[test]
+    fn sampled_nodes_are_switches_and_distinct() {
+        let (ft, inj) = inj();
+        let mut rng = SimRng::seed_from_u64(1);
+        let nodes = inj.sample_nodes(&mut rng, 10);
+        assert_eq!(nodes.len(), 10);
+        let mut d = nodes.clone();
+        d.sort();
+        d.dedup();
+        assert_eq!(d.len(), 10);
+        for n in nodes {
+            assert_ne!(ft.net.node(n).kind, NodeKind::Host);
+        }
+    }
+
+    #[test]
+    fn apply_and_repair_round_trip() {
+        let (mut ft, inj) = inj();
+        let mut rng = SimRng::seed_from_u64(2);
+        let ev = inj.single_failure(
+            &mut rng,
+            true,
+            Time::from_secs(10),
+            Duration::from_secs(120),
+        );
+        assert_eq!(ev.repaired_at(), Time::from_secs(130));
+        let FailureKind::Node(n) = ev.kind else {
+            panic!("asked for a node failure")
+        };
+        FailureInjector::apply(&mut ft.net, ev.kind);
+        assert!(!ft.net.node(n).up);
+        FailureInjector::repair(&mut ft.net, ev.kind);
+        assert!(ft.net.node(n).up);
+    }
+
+    #[test]
+    fn poisson_process_is_sorted_and_bounded() {
+        let (_ft, inj) = inj();
+        let mut rng = SimRng::seed_from_u64(3);
+        let events = inj.poisson_process(
+            &mut rng,
+            Time::from_secs(3600),
+            Duration::from_secs(60),
+            Duration::from_secs(180),
+            0.5,
+        );
+        assert!(events.len() > 20, "one hour at 1/min should yield many");
+        for w in events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(events.iter().all(|e| e.at <= Time::from_secs(3600)));
+        let nodes = events
+            .iter()
+            .filter(|e| matches!(e.kind, FailureKind::Node(_)))
+            .count();
+        assert!(nodes > 0 && nodes < events.len(), "both kinds appear");
+    }
+
+    #[test]
+    fn availability_math() {
+        assert!((expected_down_fraction(0.9999) - 0.0001).abs() < 1e-12);
+        assert_eq!(expected_down_fraction(1.0), 0.0);
+    }
+}

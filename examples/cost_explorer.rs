@@ -1,0 +1,80 @@
+//! Explore the deployment space: for a target host count, what do the
+//! fault-tolerance options cost, and what does the circuit-switch port
+//! budget allow?
+//!
+//! Run with: `cargo run --example cost_explorer [hosts]`
+//! (default target: 25,000 hosts)
+
+use sharebackup::cost::model::{relative_additional, total_cost, Architecture, Medium};
+use sharebackup::cost::{CapacityAnalysis, ScalabilityLimits};
+use sharebackup::topo::CircuitTech;
+
+fn main() {
+    let target_hosts: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("host count"))
+        .unwrap_or(25_000);
+
+    // Smallest even k whose fat-tree reaches the target.
+    let mut k = 4;
+    while k * k * k / 4 < target_hosts {
+        k += 2;
+    }
+    println!(
+        "target {target_hosts} hosts -> k={k} fat-tree ({} hosts)\n",
+        k * k * k / 4
+    );
+
+    println!("fault-tolerance options for k={k}:");
+    println!(
+        "{:<22} {:>14} {:>14} {:>12}",
+        "architecture", "E-DC total $", "O-DC total $", "vs fat-tree"
+    );
+    let options = [
+        ("fat-tree (reroute)", Architecture::FatTree),
+        ("ShareBackup n=1", Architecture::ShareBackup { n: 1 }),
+        ("ShareBackup n=2", Architecture::ShareBackup { n: 2 }),
+        ("ShareBackup n=4", Architecture::ShareBackup { n: 4 }),
+        ("Aspen Tree", Architecture::AspenTree),
+        ("1:1 backup", Architecture::OneToOneBackup),
+    ];
+    for (name, arch) in options {
+        println!(
+            "{:<22} {:>14.0} {:>14.0} {:>11.1}%",
+            name,
+            total_cost(arch, k, Medium::Electrical),
+            total_cost(arch, k, Medium::Optical),
+            100.0 * relative_additional(arch, k, Medium::Electrical),
+        );
+    }
+
+    println!("\nwhat the circuit-switch port budget allows at k={k}:");
+    for tech in [CircuitTech::Crosspoint, CircuitTech::Mems2D] {
+        let lim = ScalabilityLimits::new(tech);
+        let max_n = lim.max_n(k);
+        if max_n == 0 {
+            println!(
+                "  {tech:?} ({} ports): k={k} NOT deployable (needs {} ports/side)",
+                tech.max_ports(),
+                ScalabilityLimits::ports_needed(k, 1),
+            );
+            continue;
+        }
+        let cap = CapacityAnalysis::new(k, max_n);
+        println!(
+            "  {tech:?} ({} ports): n up to {max_n} (backup ratio {:.1}%, {:.0}x the 0.01% failure rate)",
+            tech.max_ports(),
+            100.0 * cap.backup_ratio(),
+            cap.headroom_over(0.0001),
+        );
+    }
+
+    let n1 = CapacityAnalysis::new(k, 1);
+    println!(
+        "\nwith n=1: {} failure groups, tolerates 1 switch failure per group \
+         ({} network-wide), backup ratio {:.2}%",
+        n1.failure_groups(),
+        n1.total_switch_failures(),
+        100.0 * n1.backup_ratio(),
+    );
+}
