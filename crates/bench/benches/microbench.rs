@@ -1,11 +1,18 @@
-//! Criterion micro-benchmarks of the engine and the recovery fast path.
+//! Micro-benchmarks of the engine and the recovery fast path.
 //!
 //! These complement the per-figure harness binaries: they measure how fast
 //! the *simulator itself* runs (event throughput, topology construction,
 //! max-min allocation) and how cheap ShareBackup's recovery primitive is
 //! (slot replacement = a handful of circuit reconfigurations).
+//!
+//! The harness is self-contained (`harness = false`): a warmup pass followed
+//! by timed batches, reporting mean and best ns/iteration. Wall-clock use is
+//! confined to this crate, as the determinism lint (`cargo xtask lint`)
+//! requires.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+#![allow(clippy::cast_possible_truncation)] // bounded rack/salt arithmetic
+use std::hint::black_box;
+use std::time::Instant;
 
 use sharebackup_core::{diagnose, Controller, ControllerConfig, DetectionConfig};
 use sharebackup_flowsim::max_min_rates;
@@ -15,6 +22,81 @@ use sharebackup_sim::{Engine, Time};
 use sharebackup_topo::{
     FatTree, FatTreeConfig, GroupId, HostAddr, LinkId, ShareBackup, ShareBackupConfig,
 };
+
+/// Criterion-shaped driver so the benchmark bodies read like upstream ones.
+struct Criterion {
+    /// Target measurement time per benchmark, in nanoseconds.
+    budget_ns: u128,
+}
+
+struct Bencher {
+    samples: Vec<u128>,
+    budget_ns: u128,
+}
+
+#[allow(dead_code)]
+enum BatchSize {
+    SmallInput,
+}
+
+impl Criterion {
+    fn new() -> Self {
+        Criterion {
+            budget_ns: 200_000_000,
+        }
+    }
+
+    fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget_ns: self.budget_ns,
+        };
+        f(&mut b);
+        let n = b.samples.len().max(1) as u128;
+        let mean = b.samples.iter().sum::<u128>() / n;
+        let best = b.samples.iter().min().copied().unwrap_or(0);
+        println!("{name:<40} {mean:>12} ns/iter (best {best} ns, {n} samples)");
+    }
+}
+
+impl Bencher {
+    /// Time `f` repeatedly until the budget is exhausted.
+    fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup and per-sample calibration.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_nanos().max(1);
+        let per_sample = (self.budget_ns / 50 / once).clamp(1, 10_000);
+        let mut spent = once;
+        while spent < self.budget_ns && self.samples.len() < 200 {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            let d = t.elapsed().as_nanos();
+            self.samples.push(d / per_sample.max(1));
+            spent += d;
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut spent = 0u128;
+        while spent < self.budget_ns && self.samples.len() < 200 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            let d = t.elapsed().as_nanos();
+            self.samples.push(d);
+            spent += d;
+        }
+    }
+}
 
 fn bench_engine(c: &mut Criterion) {
     c.bench_function("engine/100k_events", |b| {
@@ -192,16 +274,15 @@ fn bench_packet(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_engine,
-    bench_topology,
-    bench_routing,
-    bench_maxmin,
-    bench_recovery,
-    bench_control_plane,
-    bench_workload,
-    bench_f10,
-    bench_packet
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_engine(&mut c);
+    bench_topology(&mut c);
+    bench_routing(&mut c);
+    bench_maxmin(&mut c);
+    bench_recovery(&mut c);
+    bench_control_plane(&mut c);
+    bench_workload(&mut c);
+    bench_f10(&mut c);
+    bench_packet(&mut c);
+}

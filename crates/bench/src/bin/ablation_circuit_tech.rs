@@ -40,7 +40,7 @@ fn main() {
     );
     let clean_t = clean[0].completed.expect("clean run finishes");
 
-    let mut rows = vec![serde_json::json!({
+    let mut rows = vec![minijson::json!({
         "configuration": "no failure",
         "completion_ms": clean_t.as_secs_f64() * 1e3,
         "drops": 0,
@@ -63,7 +63,7 @@ fn main() {
             events,
             Time::from_secs(10),
         );
-        rows.push(serde_json::json!({
+        rows.push(minijson::json!({
             "configuration": format!("{tech:?} (outage {:.3} ms)", outage.as_millis_f64()),
             "completion_ms": out[0].completed.expect("finishes").as_secs_f64() * 1e3,
             "drops": drops,
@@ -74,7 +74,7 @@ fn main() {
     if args.json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&serde_json::Value::Array(rows)).expect("json")
+            minijson::to_string_pretty(&minijson::Value::Array(rows)).expect("json")
         );
         return;
     }

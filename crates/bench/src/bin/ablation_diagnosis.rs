@@ -77,7 +77,7 @@ fn main() {
     let with = run(args.k, args.trials, args.seed, true);
     let without = run(args.k, args.trials, args.seed, false);
 
-    let json = serde_json::json!([
+    let json = minijson::json!([
         {
             "diagnosis": true,
             "exonerated": with.exonerated,
@@ -96,7 +96,7 @@ fn main() {
         }
     ]);
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&json).expect("json"));
+        println!("{}", minijson::to_string_pretty(&json).expect("json"));
         return;
     }
 

@@ -78,7 +78,7 @@ fn main() {
     let mut rows = Vec::new();
     for &(name, ne, na, nc) in &allocations {
         let o = run(k, ne, na, nc, args.trials, args.seed);
-        rows.push(serde_json::json!({
+        rows.push(minijson::json!({
             "allocation": name,
             "total_backups": o.total_backups,
             "edge_fallbacks": o.edge_fallbacks,
@@ -90,7 +90,7 @@ fn main() {
     if args.json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&serde_json::Value::Array(rows)).expect("json")
+            minijson::to_string_pretty(&minijson::Value::Array(rows)).expect("json")
         );
         return;
     }

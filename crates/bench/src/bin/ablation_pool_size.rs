@@ -8,6 +8,7 @@
 //! moment of failure) as n grows, with repairs returning switches to the
 //! pool at the paper's few-minute repair times.
 
+#![allow(clippy::cast_possible_truncation)] // bounded rack/salt arithmetic
 use sharebackup_bench::Args;
 use sharebackup_core::{Controller, ControllerConfig};
 use sharebackup_sim::{Duration, SimRng, Time};
@@ -76,7 +77,7 @@ fn main() {
                 args.seed,
                 Duration::from_secs(mtbf),
             );
-            rows.push(serde_json::json!({
+            rows.push(minijson::json!({
                 "mtbf_s": mtbf,
                 "n": n,
                 "unmasked_fraction": frac,
@@ -87,7 +88,7 @@ fn main() {
     if args.json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&serde_json::Value::Array(rows)).expect("json")
+            minijson::to_string_pretty(&minijson::Value::Array(rows)).expect("json")
         );
         return;
     }

@@ -46,11 +46,11 @@ fn main() {
     const FAILURE_RATE: f64 = 0.0001; // 99.99% availability (Gill et al.)
 
     let configs = [(16usize, 1usize), (48, 1), (48, 4), (58, 1), (64, 2)];
-    let rows: Vec<serde_json::Value> = configs
+    let rows: Vec<minijson::Value> = configs
         .iter()
         .map(|&(k, n)| {
             let c = CapacityAnalysis::new(k, n);
-            serde_json::json!({
+            minijson::json!({
                 "k": k,
                 "n": n,
                 "hosts": c.hosts(),
@@ -69,7 +69,7 @@ fn main() {
     if args.json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&serde_json::Value::Array(rows)).expect("json")
+            minijson::to_string_pretty(&minijson::Value::Array(rows)).expect("json")
         );
         return;
     }

@@ -27,10 +27,10 @@ fn main() {
     let rows = impact_sweep(&setup, node_mode, &counts, args.trials);
 
     if args.json {
-        let json: Vec<serde_json::Value> = rows
+        let json: Vec<minijson::Value> = rows
             .iter()
             .map(|(c, f, cf)| {
-                serde_json::json!({
+                minijson::json!({
                     "failures": c,
                     "affected_flows_pct": f * 100.0,
                     "affected_coflows_pct": cf * 100.0,
@@ -38,7 +38,7 @@ fn main() {
                 })
             })
             .collect();
-        println!("{}", serde_json::to_string_pretty(&json).expect("json"));
+        println!("{}", minijson::to_string_pretty(&json).expect("json"));
         return;
     }
 

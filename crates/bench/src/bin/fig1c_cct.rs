@@ -74,14 +74,14 @@ fn main() {
     }
 
     let quantiles = [0.5, 0.9, 0.99, 0.999, 1.0];
-    let report = |name: &str, sd: &[f64], stranded: usize| -> serde_json::Value {
+    let report = |name: &str, sd: &[f64], stranded: usize| -> minijson::Value {
         let cdf = Cdf::from_samples(sd.iter().copied());
         let row: Vec<(f64, f64)> = quantiles
             .iter()
             .map(|&q| (q, if cdf.is_empty() { 0.0 } else { cdf.quantile(q) }))
             .collect();
         let degraded = sd.iter().filter(|&&x| x > 1.5).count();
-        serde_json::json!({
+        minijson::json!({
             "system": name,
             "coflows": sd.len(),
             "stranded": stranded,
@@ -99,7 +99,7 @@ fn main() {
     if args.json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&serde_json::Value::Array(results.to_vec()))
+            minijson::to_string_pretty(&minijson::Value::Array(results.to_vec()))
                 .expect("json")
         );
         return;

@@ -24,7 +24,7 @@ fn main() {
                 .iter()
                 .map(|&k| (k, 100.0 * relative_additional(arch, k, medium)))
                 .collect();
-            out.push(serde_json::json!({
+            out.push(minijson::json!({
                 "medium": format!("{medium:?}"),
                 "architecture": name,
                 "series_pct_of_fattree": series,
@@ -35,7 +35,7 @@ fn main() {
     if args.json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&serde_json::Value::Array(out)).expect("json")
+            minijson::to_string_pretty(&minijson::Value::Array(out)).expect("json")
         );
         return;
     }

@@ -189,7 +189,7 @@ fn main() {
     if args.json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&serde_json::json!([
+            minijson::to_string_pretty(&minijson::json!([
                 {
                     "system": "fat-tree (rerouting)",
                     "failures": ft.failures,

@@ -95,7 +95,7 @@ fn main() {
         let repair = m.repair(scheme);
         let total = m.total(scheme);
         let completion = disrupted_transfer(total, reroute);
-        rows.push(serde_json::json!({
+        rows.push(minijson::json!({
             "scheme": name,
             "detection_us": detection.as_secs_f64() * 1e6,
             "repair_us": repair.as_secs_f64() * 1e6,
@@ -105,7 +105,7 @@ fn main() {
     }
     // Reference: the same transfer with no failure at all.
     let clean = disrupted_transfer(Duration::ZERO, false);
-    rows.push(serde_json::json!({
+    rows.push(minijson::json!({
         "scheme": "(no failure reference)",
         "detection_us": 0.0,
         "repair_us": 0.0,
@@ -116,7 +116,7 @@ fn main() {
     if args.json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&serde_json::Value::Array(rows)).expect("json")
+            minijson::to_string_pretty(&minijson::Value::Array(rows)).expect("json")
         );
         return;
     }

@@ -37,10 +37,10 @@ fn main() {
     }
 
     if args.json {
-        let json: Vec<serde_json::Value> = rows
+        let json: Vec<minijson::Value> = rows
             .iter()
             .map(|(tech, name, tl)| {
-                serde_json::json!({
+                minijson::json!({
                     "tech": format!("{tech:?}"),
                     "failure": name,
                     "detection_us": tl.detection_latency().as_secs_f64() * 1e6,
@@ -50,7 +50,7 @@ fn main() {
                 })
             })
             .collect();
-        println!("{}", serde_json::to_string_pretty(&json).expect("json"));
+        println!("{}", minijson::to_string_pretty(&json).expect("json"));
         return;
     }
 

@@ -19,7 +19,7 @@ fn main() {
         for n in 1..=6 {
             let k = s.max_k(n);
             let cap = CapacityAnalysis::new(k, n);
-            rows.push(serde_json::json!({
+            rows.push(minijson::json!({
                 "tech": format!("{tech:?}"),
                 "port_limit": tech.max_ports(),
                 "n": n,
@@ -30,7 +30,7 @@ fn main() {
             }));
         }
         // And the k=48 view: how much robustness fits.
-        rows.push(serde_json::json!({
+        rows.push(minijson::json!({
             "tech": format!("{tech:?}"),
             "port_limit": tech.max_ports(),
             "fixed_k": 48,
@@ -42,7 +42,7 @@ fn main() {
     if args.json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&serde_json::Value::Array(rows)).expect("json")
+            minijson::to_string_pretty(&minijson::Value::Array(rows)).expect("json")
         );
         return;
     }

@@ -5,6 +5,7 @@
 //!
 //! Usage: `scorecard [--json]`
 
+#![allow(clippy::cast_possible_truncation)] // bounded rack/salt arithmetic
 use sharebackup_bench::Args;
 use sharebackup_core::{
     diagnose, Controller, ControllerConfig, RecoveryLatencyModel, RecoveryScheme, Verdict,
@@ -181,20 +182,20 @@ fn main() {
     let passed = checks.iter().filter(|c| c.pass).count();
 
     if args.json {
-        let rows: Vec<serde_json::Value> = checks
+        let rows: Vec<minijson::Value> = checks
             .iter()
             .map(|c| {
-                serde_json::json!({
+                minijson::json!({
                     "section": c.section,
                     "claim": c.claim,
-                    "measured": c.measured,
+                    "measured": c.measured.as_str(),
                     "pass": c.pass,
                 })
             })
             .collect();
         println!(
             "{}",
-            serde_json::to_string_pretty(&serde_json::Value::Array(rows)).expect("json")
+            minijson::to_string_pretty(&minijson::Value::Array(rows)).expect("json")
         );
         return;
     }

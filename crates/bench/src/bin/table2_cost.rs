@@ -22,7 +22,7 @@ fn main() {
         let sb = sharebackup_additional(k, n, p);
         let aspen = aspen_additional(k, p);
         let one = one_to_one_additional(k, p);
-        rows.push(serde_json::json!({
+        rows.push(minijson::json!({
             "medium": format!("{medium:?}"),
             "prices": {"a": p.a, "b": p.b, "c": p.c},
             "fat_tree": base.total(),
@@ -39,7 +39,7 @@ fn main() {
     if args.json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&serde_json::Value::Array(rows)).expect("json")
+            minijson::to_string_pretty(&minijson::Value::Array(rows)).expect("json")
         );
         return;
     }

@@ -182,10 +182,10 @@ fn main() {
     ];
 
     if args.json {
-        let json: Vec<serde_json::Value> = rows
+        let json: Vec<minijson::Value> = rows
             .iter()
             .map(|(name, m)| {
-                serde_json::json!({
+                minijson::json!({
                     "architecture": name,
                     "bandwidth_loss_pct": m.bandwidth_loss_pct,
                     "max_dilation_hops": m.max_dilation_hops,
@@ -194,7 +194,7 @@ fn main() {
                 })
             })
             .collect();
-        println!("{}", serde_json::to_string_pretty(&json).expect("json"));
+        println!("{}", minijson::to_string_pretty(&json).expect("json"));
         return;
     }
 

@@ -11,7 +11,7 @@ fn main() {
     let args = Args::parse(Args::paper_defaults());
     let ks = [8usize, 16, 32, 48, 64];
 
-    let rows: Vec<serde_json::Value> = ks
+    let rows: Vec<minijson::Value> = ks
         .iter()
         .map(|&k| {
             let gt = GroupTables::build(k);
@@ -19,7 +19,7 @@ fn main() {
             let built = merged.entry_count();
             let formula = GroupTables::edge_entry_count(k);
             assert_eq!(built, formula, "built table must match the formula");
-            serde_json::json!({
+            minijson::json!({
                 "k": k,
                 "hosts": k * k * k / 4,
                 "inbound_entries": merged.inbound.len(),
@@ -34,7 +34,7 @@ fn main() {
     if args.json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&serde_json::Value::Array(rows)).expect("json")
+            minijson::to_string_pretty(&minijson::Value::Array(rows)).expect("json")
         );
         return;
     }

@@ -3,6 +3,7 @@
 //! A rack corresponds to an edge switch; a rack's traffic endpoints spread
 //! over the hosts under that edge.
 
+#![allow(clippy::cast_possible_truncation)] // bounded rack/salt arithmetic
 use sharebackup_topo::{FatTree, HostAddr, NodeId};
 
 /// Maps trace rack indices onto fat-tree hosts.

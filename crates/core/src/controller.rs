@@ -20,7 +20,7 @@
 //! link-failure reports converging on one circuit switch beyond a threshold
 //! stops recovery and escalates to human intervention (§5.1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sharebackup_sim::{Duration, Time};
 use sharebackup_topo::{CsId, NodeId, PhysId, ShareBackup, SlotId};
@@ -120,7 +120,7 @@ pub struct Controller {
     /// Running counters.
     pub stats: ControllerStats,
     repairs: Vec<(Time, RepairJob)>,
-    cs_reports: HashMap<CsId, u32>,
+    cs_reports: BTreeMap<CsId, u32>,
     halted: bool,
 }
 
@@ -132,7 +132,7 @@ impl Controller {
             cfg,
             stats: ControllerStats::default(),
             repairs: Vec::new(),
-            cs_reports: HashMap::new(),
+            cs_reports: BTreeMap::new(),
             halted: false,
         }
     }
@@ -148,6 +148,17 @@ impl Controller {
     pub fn resume_after_intervention(&mut self) {
         self.halted = false;
         self.cs_reports.clear();
+    }
+
+    /// Under `strict-invariants`, re-verify the network's structural
+    /// invariants at the end of every controller transition. The topo layer
+    /// already checks after each `refresh_state`; this additionally covers
+    /// the quiescent state the controller leaves behind (after multi-step
+    /// recoveries and batched repairs).
+    fn check_invariants(&self) {
+        if cfg!(feature = "strict-invariants") {
+            self.sb.check_invariants();
+        }
     }
 
     /// The recovery latency charged per §5.3.
@@ -200,6 +211,7 @@ impl Controller {
         // the pool as a backup (role swap, §4.2).
         self.repairs
             .push((now + self.cfg.switch_repair_time, RepairJob::Switch(failed)));
+        self.check_invariants();
         recovery
     }
 
@@ -258,6 +270,7 @@ impl Controller {
             }
             recovery.diagnosis.push(report);
         }
+        self.check_invariants();
         recovery
     }
 
@@ -282,6 +295,7 @@ impl Controller {
         let slot = self
             .sb
             .node_slot(edge_node)
+            // lint:allow(unwrap) — hosts attach to edge slots by construction
             .expect("host connects to an edge slot");
         let suspect = self.sb.occupant(slot);
         self.try_replace(slot, &mut recovery);
@@ -292,6 +306,7 @@ impl Controller {
                 .slots
                 .net
                 .link_between(host, edge_node)
+                // lint:allow(unwrap) — the host link was found above via incident()
                 .expect("host link");
             if self.sb.slots.net.link_usable(link) {
                 // Switch was at fault: repair it.
@@ -308,6 +323,7 @@ impl Controller {
                     .push((now + self.cfg.host_repair_time, RepairJob::HostNic(host)));
             }
         }
+        self.check_invariants();
         recovery
     }
 
@@ -342,6 +358,9 @@ impl Controller {
             }
         }
         self.repairs = remaining;
+        if done > 0 {
+            self.check_invariants();
+        }
         done
     }
 

@@ -283,6 +283,7 @@ impl Environment for ShareBackupWorld {
                             .controller
                             .sb
                             .node_slot(edge_node)
+                            // lint:allow(unwrap) — hosts attach to edge slots by construction
                             .expect("host connects to an edge slot");
                         (slot, net.node(host).index % (self.controller.sb.k() / 2))
                     };

@@ -15,6 +15,15 @@ use crate::sim::{FlowSpec, SimOutcome};
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct CoflowId(pub u32);
 
+impl CoflowId {
+    /// Construct from an arena index, saturating at `u32::MAX` (traces are
+    /// bounded far below 4 G coflows).
+    pub fn from_index(i: usize) -> CoflowId {
+        debug_assert!(u32::try_from(i).is_ok(), "coflow id overflow");
+        CoflowId(u32::try_from(i).unwrap_or(u32::MAX))
+    }
+}
+
 /// A coflow: indices into the experiment's flow list.
 #[derive(Clone, Debug)]
 pub struct Coflow {
@@ -45,7 +54,7 @@ impl Coflow {
             .iter()
             .map(|&i| specs[i].arrival)
             .min()
-            .expect("nonempty");
+            .unwrap_or(Time::ZERO);
         let mut last = Time::ZERO;
         for &i in &self.flows {
             match out.flows[i].completed {

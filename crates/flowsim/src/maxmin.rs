@@ -8,7 +8,7 @@
 //! and the fluid limit the paper's packet-level final-state measurements
 //! correspond to.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sharebackup_topo::LinkId;
 
@@ -34,8 +34,8 @@ pub fn max_min_rates(
     }
 
     // Per-link state: remaining headroom and active-flow count.
-    let mut headroom: HashMap<LinkId, f64> = HashMap::new();
-    let mut count: HashMap<LinkId, u32> = HashMap::new();
+    let mut headroom: BTreeMap<LinkId, f64> = BTreeMap::new();
+    let mut count: BTreeMap<LinkId, u32> = BTreeMap::new();
     for (i, links) in flow_links.iter().enumerate() {
         if !active[i] {
             continue;
@@ -68,7 +68,10 @@ pub fn max_min_rates(
             }
             rate[i] += delta;
             for &l in links {
-                *headroom.get_mut(&l).expect("seen link") -= delta * 1.0;
+                // Every link of an active flow was seeded in the setup loop.
+                if let Some(h) = headroom.get_mut(&l) {
+                    *h -= delta;
+                }
             }
         }
         // Freeze flows on saturated links.
@@ -88,7 +91,9 @@ pub fn max_min_rates(
                 frozen_any = true;
                 remaining -= 1;
                 for &l in links {
-                    *count.get_mut(&l).expect("seen link") -= 1;
+                    if let Some(c) = count.get_mut(&l) {
+                        *c -= 1;
+                    }
                 }
             }
         }
@@ -100,7 +105,9 @@ pub fn max_min_rates(
                     active[i] = false;
                     remaining -= 1;
                     for &l in links {
-                        *count.get_mut(&l).expect("seen link") -= 1;
+                        if let Some(c) = count.get_mut(&l) {
+                            *c -= 1;
+                        }
                     }
                 }
             }
@@ -177,7 +184,7 @@ mod tests {
         let cap = |link: LinkId| 1.0 + (link.0 % 4) as f64;
         let rates = max_min_rates(&flows, cap);
         // Feasibility.
-        let mut usage: HashMap<LinkId, f64> = HashMap::new();
+        let mut usage: BTreeMap<LinkId, f64> = BTreeMap::new();
         for (i, links) in flows.iter().enumerate() {
             for &link in links {
                 *usage.entry(link).or_insert(0.0) += rates[i];

@@ -10,7 +10,7 @@
 //! topology/routing crates: fat-tree + global rerouting, F10 + local
 //! rerouting, and ShareBackup + the recovery controller each implement it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sharebackup_routing::FlowKey;
 use sharebackup_sim::{Duration, Time};
@@ -73,7 +73,7 @@ pub struct SimOutcome {
     /// Instant at which the simulation stopped.
     pub finished_at: Time,
     /// Bits carried per link over the whole run (for utilization reports).
-    pub link_bits: HashMap<LinkId, f64>,
+    pub link_bits: BTreeMap<LinkId, f64>,
 }
 
 impl SimOutcome {
@@ -101,7 +101,7 @@ impl SimOutcome {
             .iter()
             .map(|(&l, &b)| (l, b))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v.truncate(top);
         v
     }
@@ -132,6 +132,9 @@ fn links_of_path(env: &impl Environment, path: &[NodeId]) -> Vec<LinkId> {
     path.windows(2)
         .map(|w| {
             env.link_between(w[0], w[1])
+                // A non-adjacent hop is a routing bug that must surface
+                // loudly, not a recoverable condition.
+                // lint:allow(unwrap) — Environment contract violation
                 .expect("route returned a non-adjacent hop")
         })
         .collect()
@@ -177,7 +180,7 @@ impl FlowSim {
         let mut next_epoch = 0usize;
         let mut live: Vec<LiveFlow> = Vec::new();
         let mut now = Time::ZERO;
-        let mut link_bits: HashMap<LinkId, f64> = HashMap::new();
+        let mut link_bits: BTreeMap<LinkId, f64> = BTreeMap::new();
 
         loop {
             // Max-min rates for the current live set (stalled flows get 0).
@@ -325,13 +328,17 @@ impl FlowSim {
         }
 
         // Delivered bytes for unfinished flows.
-        let remaining_by_index: HashMap<usize, f64> =
+        let remaining_by_index: BTreeMap<usize, f64> =
             live.iter().map(|f| (f.index, f.remaining)).collect();
         for (i, out) in outcome.iter_mut().enumerate() {
             if out.completed.is_none() {
                 if let Some(&rem) = remaining_by_index.get(&i) {
                     let sent_bits = flows[i].bytes as f64 * 8.0 - rem;
-                    out.delivered = (sent_bits / 8.0).floor().max(0.0) as u64;
+                    // Bounded by flows[i].bytes, and float->int `as` saturates.
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    {
+                        out.delivered = (sent_bits / 8.0).floor().max(0.0) as u64;
+                    }
                 }
             }
         }
@@ -352,10 +359,10 @@ mod tests {
     struct LineEnv {
         net: sharebackup_topo::Network,
         /// Paths to hand out, keyed by flow id. `None` = unroutable.
-        paths: HashMap<u64, Option<Vec<NodeId>>>,
+        paths: BTreeMap<u64, Option<Vec<NodeId>>>,
         epoch_log: Vec<(usize, Time)>,
         /// When an epoch fires, switch flow routes to these.
-        after_epoch: HashMap<u64, Option<Vec<NodeId>>>,
+        after_epoch: BTreeMap<u64, Option<Vec<NodeId>>>,
     }
 
     impl Environment for LineEnv {
@@ -370,7 +377,7 @@ mod tests {
         }
         fn on_epoch(&mut self, index: usize, now: Time) {
             self.epoch_log.push((index, now));
-            for (id, p) in self.after_epoch.drain() {
+            for (id, p) in std::mem::take(&mut self.after_epoch) {
                 self.paths.insert(id, p);
             }
         }
@@ -387,9 +394,9 @@ mod tests {
         (
             LineEnv {
                 net,
-                paths: HashMap::new(),
+                paths: BTreeMap::new(),
                 epoch_log: Vec::new(),
-                after_epoch: HashMap::new(),
+                after_epoch: BTreeMap::new(),
             },
             vec![h0, h1, s],
         )

@@ -2,7 +2,7 @@
 //! saturation witness, and the max-min dominance property on random
 //! instances.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 use sharebackup_flowsim::max_min_rates;
@@ -30,7 +30,7 @@ proptest! {
     #[test]
     fn allocation_is_feasible((flows, caps) in instances()) {
         let rates = max_min_rates(&flows, |l| caps[l.0 as usize]);
-        let mut usage: HashMap<LinkId, f64> = HashMap::new();
+        let mut usage: BTreeMap<LinkId, f64> = BTreeMap::new();
         for (i, links) in flows.iter().enumerate() {
             prop_assert!(rates[i] >= 0.0);
             for &l in links {
@@ -51,7 +51,7 @@ proptest! {
         // Max-min witness: each flow crosses at least one saturated link
         // (otherwise its rate could be raised, contradicting max-min).
         let rates = max_min_rates(&flows, |l| caps[l.0 as usize]);
-        let mut usage: HashMap<LinkId, f64> = HashMap::new();
+        let mut usage: BTreeMap<LinkId, f64> = BTreeMap::new();
         for (i, links) in flows.iter().enumerate() {
             for &l in links {
                 *usage.entry(l).or_insert(0.0) += rates[i];
@@ -77,7 +77,7 @@ proptest! {
         // the "fair share at saturation" is not violated by more than eps
         // in the downward direction for the link that bottlenecks it.
         let rates = max_min_rates(&flows, |l| caps[l.0 as usize]);
-        let mut by_link: HashMap<LinkId, Vec<usize>> = HashMap::new();
+        let mut by_link: BTreeMap<LinkId, Vec<usize>> = BTreeMap::new();
         for (i, links) in flows.iter().enumerate() {
             for &l in links {
                 by_link.entry(l).or_default().push(i);

@@ -216,7 +216,7 @@ impl NetWorld {
     }
 
     fn link_of_dir(&self, dir: usize) -> LinkId {
-        LinkId((dir / 2) as u32)
+        LinkId::from_index(dir / 2)
     }
 
     /// Wire time of a packet on a link.
@@ -260,6 +260,7 @@ impl NetWorld {
         let wire = self.dirs[dir]
             .queue
             .front()
+            // lint:allow(unwrap) — callers check the queue before starting tx
             .expect("start_tx on empty queue")
             .wire;
         self.dirs[dir].busy = true;
@@ -329,6 +330,7 @@ impl World<Ev> for NetWorld {
                 let pkt = self.dirs[dir]
                     .queue
                     .pop_front()
+                    // lint:allow(unwrap) — a TxDone is scheduled only while a packet occupies the head
                     .expect("TxDone with empty queue");
                 self.dirs[dir].busy = false;
                 // The packet survives only if the link is still up.

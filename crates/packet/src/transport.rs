@@ -108,7 +108,7 @@ impl RenoFlow {
         {
             let len = self
                 .mss
-                .min((self.total_bytes - self.next_seq) as u32);
+                .min(u32::try_from(self.total_bytes - self.next_seq).unwrap_or(u32::MAX));
             out.push((self.next_seq, len));
             self.next_seq += len as u64;
         }
@@ -146,9 +146,9 @@ impl RenoFlow {
                 // missing segment (the receiver buffers out-of-order data).
                 self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.mss as f64);
                 self.cwnd = self.ssthresh;
-                let len = self.mss.min(
-                    (self.total_bytes - self.acked).min(u32::MAX as u64) as u32,
-                );
+                let len = self
+                    .mss
+                    .min(u32::try_from(self.total_bytes - self.acked).unwrap_or(u32::MAX));
                 self.pending_rtx.push((self.acked, len));
                 self.dupacks = 0;
                 self.retransmits += 1;

@@ -17,6 +17,7 @@ use crate::flow::FlowKey;
 pub fn ecmp_path(ft: &FatTree, flow: &FlowKey) -> Vec<NodeId> {
     let paths = ft.host_paths(flow.src, flow.dst);
     let pick = flow.pick(paths.len());
+    // lint:allow(unwrap) — `pick(n)` asserts n > 0 and returns hash % n < n
     paths.into_iter().nth(pick).expect("pick is in range")
 }
 
@@ -24,6 +25,7 @@ pub fn ecmp_path(ft: &FatTree, flow: &FlowKey) -> Vec<NodeId> {
 pub fn ecmp_path_f10(f10: &F10Topology, flow: &FlowKey) -> Vec<NodeId> {
     let paths = f10.host_paths(flow.src, flow.dst);
     let pick = flow.pick(paths.len());
+    // lint:allow(unwrap) — `pick(n)` asserts n > 0 and returns hash % n < n
     paths.into_iter().nth(pick).expect("pick is in range")
 }
 
@@ -51,7 +53,7 @@ mod tests {
         let ft = FatTree::build(FatTreeConfig::new(8));
         let src = ft.host(HostAddr { pod: 0, edge: 0, host: 0 });
         let dst = ft.host(HostAddr { pod: 3, edge: 1, host: 2 });
-        let mut cores = std::collections::HashSet::new();
+        let mut cores = std::collections::BTreeSet::new();
         for id in 0..256 {
             let p = ecmp_path(&ft, &FlowKey::new(src, dst, id));
             cores.insert(p[3]);

@@ -49,7 +49,11 @@ impl FlowKey {
     /// Panics if `n == 0`.
     pub fn pick(&self, n: usize) -> usize {
         assert!(n > 0, "no choices to pick from");
-        (self.ecmp_hash() % n as u64) as usize
+        // The modulo bounds the value below n, which fits in usize.
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            (self.ecmp_hash() % n as u64) as usize
+        }
     }
 
     /// Pick with an extra salt — used when a switch must make a *second*
@@ -57,7 +61,11 @@ impl FlowKey {
     pub fn pick_salted(&self, n: usize, salt: u64) -> usize {
         assert!(n > 0, "no choices to pick from");
         let h = splitmix64(fnv1a64_words(&[self.ecmp_hash(), salt]));
-        (h % n as u64) as usize
+        // The modulo bounds the value below n, which fits in usize.
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            (h % n as u64) as usize
+        }
     }
 }
 

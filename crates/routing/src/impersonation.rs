@@ -109,6 +109,7 @@ impl EdgeGroupTable {
                     .outbound
                     .iter()
                     .find(|e| e.vlan == v && e.suffix == dst.host)
+                    // lint:allow(unwrap) — build() populates every (vlan, suffix) pair
                     .expect("outbound entry exists for every (vlan, suffix)");
                 NextHop::Up(e.up)
             }

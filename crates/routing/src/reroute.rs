@@ -17,7 +17,7 @@
 //! died) gets `None` — those are the unrecoverable casualties rerouting
 //! cannot save, which the affected-flow metric counts.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sharebackup_topo::{FatTree, LinkId, NodeId};
 
@@ -59,7 +59,7 @@ impl GlobalReroute {
     ///
     /// Deterministic: depends only on flow order and topology state.
     pub fn route_all(ft: &FatTree, flows: &[FlowKey]) -> Vec<Option<Vec<NodeId>>> {
-        let mut load: HashMap<LinkId, u64> = HashMap::new();
+        let mut load: BTreeMap<LinkId, u64> = BTreeMap::new();
         let mut out = Vec::with_capacity(flows.len());
         for flow in flows {
             let mut candidates = Self::surviving_paths(ft, flow);
@@ -73,6 +73,7 @@ impl GlobalReroute {
             }
             let links_of = |p: &[NodeId]| -> Vec<LinkId> {
                 p.windows(2)
+                    // lint:allow(unwrap) — paths come from the topology, so every hop is adjacent
                     .map(|w| ft.net.link_between(w[0], w[1]).expect("path link"))
                     .collect()
             };
@@ -93,6 +94,7 @@ impl GlobalReroute {
                     best = Some(key);
                 }
             }
+            // lint:allow(unwrap) — the empty-candidates case pushed None above
             let (_, _, idx) = best.expect("candidates nonempty");
             let chosen = candidates.swap_remove(idx);
             for l in links_of(&chosen) {
@@ -178,7 +180,7 @@ mod tests {
         let routed = GlobalReroute::route_all(&ft, &flows);
         // Four flows between the same pair: load-aware assignment uses all
         // four distinct cores.
-        let cores: std::collections::HashSet<NodeId> = routed
+        let cores: std::collections::BTreeSet<NodeId> = routed
             .iter()
             .map(|p| p.as_ref().expect("connected")[3])
             .collect();

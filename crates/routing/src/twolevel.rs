@@ -234,10 +234,12 @@ impl TwoLevelTables {
             let node = ft.net.node(at);
             let next = match node.kind {
                 NodeKind::Edge => {
+                    // lint:allow(unwrap) — edge nodes are built with a pod
                     let pod = node.pod.expect("edge has pod");
                     self.edge_next(pod, node.index, d)
                 }
                 NodeKind::Agg => {
+                    // lint:allow(unwrap) — agg nodes are built with a pod
                     let pod = node.pod.expect("agg has pod");
                     self.agg_next(pod, d)
                 }
@@ -249,8 +251,10 @@ impl TwoLevelTables {
                     path.push(dst);
                     return path;
                 }
+                // lint:allow(unwrap) — only in-pod switches yield ToEdge/Up
                 NextHop::ToEdge(e) => ft.edge(node.pod.expect("in pod"), e),
                 NextHop::Up(m) => match node.kind {
+                    // lint:allow(unwrap) — only in-pod switches yield ToEdge/Up
                     NodeKind::Edge => ft.agg(node.pod.expect("in pod"), m),
                     NodeKind::Agg => ft.core(node.index * half + m),
                     _ => unreachable!("only edge/agg go up"),
@@ -332,7 +336,7 @@ mod tests {
         let ups: Vec<NextHop> = (0..4)
             .map(|h| t.edge_next(0, 0, HostAddr { pod: 5, edge: 0, host: h }))
             .collect();
-        let distinct: std::collections::HashSet<_> =
+        let distinct: std::collections::BTreeSet<_> =
             ups.iter().map(|n| format!("{n:?}")).collect();
         assert_eq!(distinct.len(), 4, "diffusion must use all uplinks: {ups:?}");
     }
@@ -343,7 +347,7 @@ mod tests {
         // switches on different uplinks (Al-Fares' diffusion optimization).
         let t = TwoLevelTables::build(8);
         let dst = HostAddr { pod: 5, edge: 0, host: 2 };
-        let per_switch: std::collections::HashSet<_> = (0..4)
+        let per_switch: std::collections::BTreeSet<_> = (0..4)
             .map(|j| format!("{:?}", t.edge_next(0, j, dst)))
             .collect();
         assert_eq!(per_switch.len(), 4);

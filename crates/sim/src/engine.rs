@@ -140,7 +140,14 @@ impl<E> Engine<E> {
                 None
             }
             Some(_) => {
+                // lint:allow(unwrap) — peek() just returned Some on this queue
                 let entry = self.queue.pop().expect("peeked entry vanished");
+                // Time monotonicity: the queue must never yield an event
+                // earlier than the current instant. A hard assert under
+                // `strict-invariants`, a debug assert otherwise.
+                #[cfg(feature = "strict-invariants")]
+                assert!(entry.at >= self.now, "queue yielded a past event");
+                #[cfg(not(feature = "strict-invariants"))]
                 debug_assert!(entry.at >= self.now, "queue yielded a past event");
                 self.now = entry.at;
                 self.processed += 1;

@@ -32,7 +32,7 @@ impl Summary {
             return None;
         }
         let mut sorted: Vec<f64> = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        sorted.sort_by(f64::total_cmp);
         let sum: f64 = sorted.iter().sum();
         Some(Summary {
             count: sorted.len(),
@@ -41,6 +41,7 @@ impl Summary {
             p50: percentile_sorted(&sorted, 0.50),
             p90: percentile_sorted(&sorted, 0.90),
             p99: percentile_sorted(&sorted, 0.99),
+            // lint:allow(unwrap) — the empty case returned None above
             max: *sorted.last().expect("nonempty"),
         })
     }
@@ -67,7 +68,10 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
         return sorted[0];
     }
     let pos = q * (sorted.len() - 1) as f64;
+    // pos is in [0, len-1], so floor/ceil fit in usize by construction.
+    #[allow(clippy::cast_possible_truncation)]
     let lo = pos.floor() as usize;
+    #[allow(clippy::cast_possible_truncation)]
     let hi = pos.ceil() as usize;
     if lo == hi {
         sorted[lo]
@@ -91,7 +95,7 @@ impl Cdf {
     pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Cdf {
         let mut sorted: Vec<f64> = samples.into_iter().collect();
         assert!(sorted.iter().all(|x| !x.is_nan()), "NaN sample in CDF");
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        sorted.sort_by(f64::total_cmp);
         Cdf { sorted }
     }
 
@@ -178,6 +182,9 @@ impl Histogram {
             self.overflow += 1;
         } else {
             let width = (self.hi - self.lo) / self.bins.len() as f64;
+            // x is in [lo, hi), so the quotient is in [0, bins); clamped
+            // below anyway for the exact-upper-edge float case.
+            #[allow(clippy::cast_possible_truncation)]
             let idx = ((x - self.lo) / width) as usize;
             // Floating point can land exactly on the upper edge; clamp.
             let idx = idx.min(self.bins.len() - 1);

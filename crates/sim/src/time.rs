@@ -8,6 +8,14 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
+/// Round a float nanosecond count to a whole one. Rust's float→int `as`
+/// saturates (negative → 0, overflow → `u64::MAX`), so this is the one
+/// audited place where fractional time becomes ticks.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn ns_from_f64(ns: f64) -> u64 {
+    ns.round() as u64
+}
+
 /// An instant on the simulation clock, in nanoseconds since simulation start.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Time(pub u64);
@@ -41,7 +49,7 @@ impl Time {
     /// Construct from fractional seconds (rounds to nearest nanosecond).
     pub fn from_secs_f64(s: f64) -> Self {
         debug_assert!(s >= 0.0, "negative time");
-        Time((s * 1e9).round() as u64)
+        Time(ns_from_f64(s * 1e9))
     }
 
     /// The raw nanosecond count.
@@ -91,7 +99,7 @@ impl Duration {
     /// Construct from fractional seconds (rounds to nearest nanosecond).
     pub fn from_secs_f64(s: f64) -> Self {
         debug_assert!(s >= 0.0, "negative duration");
-        Duration((s * 1e9).round() as u64)
+        Duration(ns_from_f64(s * 1e9))
     }
 
     /// The raw nanosecond count.
@@ -109,7 +117,7 @@ impl Duration {
     /// Multiply by a non-negative float, rounding to nearest nanosecond.
     pub fn mul_f64(self, factor: f64) -> Duration {
         debug_assert!(factor >= 0.0, "negative factor");
-        Duration((self.0 as f64 * factor).round() as u64)
+        Duration(ns_from_f64(self.0 as f64 * factor))
     }
 }
 

@@ -9,7 +9,7 @@
 //! exactly one circuit-switch port; every host NIC on exactly one; side
 //! ports pair up into rings).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::circuit::Attachment;
 use crate::ids::PhysId;
@@ -39,8 +39,8 @@ impl CablingReport {
     /// Panics if the fabric violates a conservation rule — that is a
     /// builder bug, not a runtime condition.
     pub fn of(sb: &ShareBackup) -> CablingReport {
-        let mut switch_ends: HashMap<(PhysId, usize), usize> = HashMap::new();
-        let mut host_ends: HashMap<crate::ids::NodeId, usize> = HashMap::new();
+        let mut switch_ends: BTreeMap<(PhysId, usize), usize> = BTreeMap::new();
+        let mut host_ends: BTreeMap<crate::ids::NodeId, usize> = BTreeMap::new();
         let mut side_ends = 0usize;
         let mut provisioned = 0usize;
         let mut used = 0usize;

@@ -203,6 +203,27 @@ impl CircuitSwitch {
             .collect()
     }
 
+    /// Assert that the matching is structurally valid: every circuit is
+    /// symmetric (`mate[p] == q ⇒ mate[q] == p`) and no port is connected
+    /// to itself. Called after every reconfiguration under the
+    /// `strict-invariants` feature.
+    ///
+    /// # Panics
+    /// Panics if the matching is asymmetric or contains a self-circuit.
+    pub fn check_matching(&self) {
+        for (p, &m) in self.mate.iter().enumerate() {
+            if let Some(q) = m {
+                assert_ne!(p, q, "self-circuit on port {p}");
+                assert_eq!(
+                    self.mate[q],
+                    Some(p),
+                    "asymmetric matching: {p} -> {q} but {q} -> {:?}",
+                    self.mate[q]
+                );
+            }
+        }
+    }
+
     /// Find the port to which `what` is attached, if any.
     pub fn port_of(&self, what: Attachment) -> Option<CsPort> {
         self.attachments

@@ -86,7 +86,7 @@ impl Network {
 
     /// Add a node and return its id.
     pub fn add_node(&mut self, kind: NodeKind, pod: Option<usize>, index: usize) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
+        let id = NodeId::from_index(self.nodes.len());
         self.nodes.push(Node {
             kind,
             pod,
@@ -103,7 +103,7 @@ impl Network {
     /// Panics on a self-loop.
     pub fn add_link(&mut self, a: NodeId, b: NodeId, capacity_bps: f64) -> LinkId {
         assert_ne!(a, b, "self-loop");
-        let id = LinkId(self.links.len() as u32);
+        let id = LinkId::from_index(self.links.len());
         self.links.push(Link {
             a,
             b,
@@ -137,12 +137,12 @@ impl Network {
 
     /// Iterate over all node ids.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..self.nodes.len()).map(NodeId::from_index)
     }
 
     /// Iterate over all link ids.
     pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
-        (0..self.links.len() as u32).map(LinkId)
+        (0..self.links.len()).map(LinkId::from_index)
     }
 
     /// All links incident to `n` (up or down).

@@ -87,6 +87,27 @@ impl fmt::Debug for SlotId {
     }
 }
 
+/// Checked index→id constructors: ids are arena indices, so they are built
+/// from `usize` container lengths everywhere. Saturating at `u32::MAX`
+/// instead of a bare `as` cast keeps an (impossible in practice) overflow
+/// from silently aliasing a small id; the debug assert makes it loud.
+macro_rules! impl_from_index {
+    ($($ty:ident),* $(,)?) => { $(
+        impl $ty {
+            /// Construct from an arena index, saturating at `u32::MAX`.
+            pub fn from_index(i: usize) -> $ty {
+                debug_assert!(u32::try_from(i).is_ok(), "id space overflow");
+                $ty(u32::try_from(i).unwrap_or(u32::MAX))
+            }
+            /// The arena index this id names.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+    )* };
+}
+impl_from_index!(NodeId, LinkId, PhysId);
+
 impl GroupId {
     /// Edge-layer group of pod `pod`.
     pub fn edge(pod: usize) -> GroupId {

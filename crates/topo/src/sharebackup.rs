@@ -27,7 +27,7 @@
 //! Fig. 4) uses the ring to connect a suspect interface to up to three test
 //! interfaces without touching the live network.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::circuit::{Attachment, CircuitSwitch, CircuitTech, CsPort};
 use crate::fattree::{FatTree, FatTreeConfig, HostAddr};
@@ -126,7 +126,7 @@ pub struct PhysSwitch {
 }
 
 /// Which circuit switch, identified by layer and position.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum CsId {
     /// `CS_{1,pod,m}`: hosts ↔ edge layer.
     HostEdge {
@@ -182,15 +182,15 @@ pub struct ShareBackup {
     pub slots: FatTree,
     phys: Vec<PhysSwitch>,
     /// Group → member-index-ordered physical switches.
-    groups: HashMap<GroupId, Vec<PhysId>>,
-    occupancy: HashMap<SlotId, PhysId>,
-    slot_of_phys: HashMap<PhysId, SlotId>,
-    node_slot: HashMap<NodeId, SlotId>,
+    groups: BTreeMap<GroupId, Vec<PhysId>>,
+    occupancy: BTreeMap<SlotId, PhysId>,
+    slot_of_phys: BTreeMap<PhysId, SlotId>,
+    node_slot: BTreeMap<NodeId, SlotId>,
     cs1: Vec<CircuitSwitch>, // [pod * k/2 + m]
     cs2: Vec<CircuitSwitch>, // [pod * k/2 + m]
     cs3: Vec<CircuitSwitch>, // [pod * k/2 + u]
     /// Host NICs with ground-truth faults.
-    host_nic_broken: HashMap<NodeId, bool>,
+    host_nic_broken: BTreeMap<NodeId, bool>,
 }
 
 impl ShareBackup {
@@ -203,14 +203,14 @@ impl ShareBackup {
 
         // --- Physical switch registry, group by group. ---
         let mut phys = Vec::new();
-        let mut groups = HashMap::new();
-        let mut occupancy = HashMap::new();
-        let mut slot_of_phys = HashMap::new();
+        let mut groups = BTreeMap::new();
+        let mut occupancy = BTreeMap::new();
+        let mut slot_of_phys = BTreeMap::new();
         let mut make_group = |group: GroupId, phys: &mut Vec<PhysSwitch>| {
             let ifaces = k; // every packet switch has k interfaces
             let members: Vec<PhysId> = (0..cfg.group_size_for(group.kind))
                 .map(|member| {
-                    let id = PhysId(phys.len() as u32);
+                    let id = PhysId::from_index(phys.len());
                     phys.push(PhysSwitch {
                         group,
                         member,
@@ -241,7 +241,7 @@ impl ShareBackup {
         }
 
         // --- Node → slot reverse map over the slot fat-tree. ---
-        let mut node_slot = HashMap::new();
+        let mut node_slot = BTreeMap::new();
         for pod in 0..k {
             for j in 0..half {
                 node_slot.insert(slots.edge(pod, j), GroupId::edge(pod).slot(j));
@@ -274,7 +274,7 @@ impl ShareBackup {
             cs1: Vec::with_capacity(k * half),
             cs2: Vec::with_capacity(k * half),
             cs3: Vec::with_capacity(k * half),
-            host_nic_broken: HashMap::new(),
+            host_nic_broken: BTreeMap::new(),
         };
 
         for pod in 0..k {
@@ -685,9 +685,16 @@ impl ShareBackup {
                 .slots
                 .net
                 .link_between(a, b)
+                // Slot-network links are created for every fat-tree edge at
+                // build time; absence is a builder bug, not a runtime state.
+                // lint:allow(unwrap) — build-time structural invariant
                 .expect("slot link must exist");
             self.slots.net.set_link_up(l, up);
         }
+        // Every reconfiguration and fault-state change funnels through here,
+        // so this one hook re-verifies the structure after each transition.
+        #[cfg(feature = "strict-invariants")]
+        self.check_invariants();
     }
 
     /// Derive (endpoint, endpoint) logical links by walking circuit-switch
@@ -715,6 +722,96 @@ impl ShareBackup {
             Attachment::Switch { switch, .. } => self.slot_of(switch).map(|s| self.slot_node(s)),
             _ => None,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Structural invariants.
+    // ------------------------------------------------------------------
+
+    /// Assert the architecture's structural invariants: slot-occupancy
+    /// bijectivity, crossbar matching validity, and circuit realization of
+    /// the slot fat-tree. Cheap relative to a reconfiguration, but O(network)
+    /// — under the `strict-invariants` feature it runs automatically after
+    /// every [`ShareBackup::refresh_state`]; callers (tests, the controller)
+    /// may also invoke it directly at any quiescent point.
+    ///
+    /// # Panics
+    /// Panics with a description of the violated invariant.
+    pub fn check_invariants(&self) {
+        self.check_occupancy();
+        self.check_matchings();
+        self.check_circuit_realization();
+    }
+
+    /// Occupancy bijectivity: every slot has exactly one occupant, every
+    /// physical switch occupies at most one slot (in its own group), and
+    /// spares never exceed the group's backup pool.
+    fn check_occupancy(&self) {
+        let half = self.half();
+        for g in self.group_ids() {
+            let members = self.group_members(g);
+            let mut occupying = 0;
+            for &p in members {
+                if let Some(slot) = self.slot_of(p) {
+                    assert_eq!(slot.group, g, "{p:?} occupies a slot outside {g:?}");
+                    assert_eq!(
+                        self.occupant(slot),
+                        p,
+                        "occupancy maps disagree about {slot:?}"
+                    );
+                    occupying += 1;
+                }
+            }
+            assert_eq!(occupying, half, "every slot of {g:?} must be occupied");
+            let spares = self.spares(g).len();
+            assert!(
+                spares <= members.len() - half,
+                "{g:?} reports {spares} spares with only {} backups",
+                members.len() - half
+            );
+        }
+        // Global view: the two occupancy maps are inverse bijections.
+        assert_eq!(self.occupancy.len(), self.slot_of_phys.len());
+        for (&slot, &p) in &self.occupancy {
+            assert_eq!(
+                self.slot_of_phys.get(&p),
+                Some(&slot),
+                "slot_of_phys is not the inverse of occupancy at {slot:?}"
+            );
+        }
+    }
+
+    /// Every circuit switch holds a valid (symmetric, self-loop-free)
+    /// partial matching.
+    fn check_matchings(&self) {
+        for id in self.circuit_switch_ids() {
+            self.circuit_switch(id).check_matching();
+        }
+    }
+
+    /// The circuit layer realizes exactly the slot fat-tree's links: walking
+    /// every crossbar circuit between attachments yields the slot network's
+    /// edge set, no more and no less.
+    fn check_circuit_realization(&self) {
+        let mut expected: Vec<(NodeId, NodeId)> = self
+            .slots
+            .net
+            .link_ids()
+            .map(|l| {
+                let link = self.slots.net.link(l);
+                if link.a <= link.b {
+                    (link.a, link.b)
+                } else {
+                    (link.b, link.a)
+                }
+            })
+            .collect();
+        expected.sort();
+        assert_eq!(
+            self.derived_links(),
+            expected,
+            "circuit layer does not realize the slot fat-tree"
+        );
     }
 
     // ------------------------------------------------------------------

@@ -88,7 +88,7 @@ impl CoflowTrace {
             if arrival > cfg.duration {
                 break;
             }
-            let id = CoflowId(coflows.len() as u32);
+            let id = CoflowId::from_index(coflows.len());
             let width_cap = cfg.max_width.min(cfg.racks);
             let mappers = Self::heavy_width(rng, cfg.width_alpha, width_cap);
             let reducers = Self::heavy_width(rng, cfg.width_alpha, width_cap);
@@ -99,6 +99,9 @@ impl CoflowTrace {
             let mut members = Vec::with_capacity(mappers * reducers);
             for &r in &reducer_racks {
                 let total = rng.pareto(cfg.bytes_scale, cfg.bytes_alpha);
+                // Truncating the heavy-tailed sample to whole bytes is the
+                // intended rounding; clamp bounds the value either way.
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                 let per_flow =
                     ((total / mappers as f64) as u64).clamp(1, cfg.max_flow_bytes);
                 for &m in &mapper_racks {
@@ -130,6 +133,7 @@ impl CoflowTrace {
     }
 
     /// Heavy-tailed integer width in `[1, cap]`.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     fn heavy_width(rng: &mut SimRng, alpha: f64, cap: usize) -> usize {
         (rng.pareto(1.0, alpha) as usize).clamp(1, cap.max(1))
     }
@@ -151,6 +155,7 @@ impl CoflowTrace {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

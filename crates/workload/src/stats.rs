@@ -44,13 +44,13 @@ impl TraceShape {
             .iter()
             .map(|c| c.flows.len() as f64)
             .collect();
-        widths.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        widths.sort_by(f64::total_cmp);
         let mut sizes: Vec<f64> = trace
             .coflows
             .iter()
             .map(|c| c.flows.iter().map(|&i| trace.specs[i].bytes).sum::<u64>() as f64)
             .collect();
-        sizes.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sizes.sort_by(f64::total_cmp);
         let total: f64 = sizes.iter().sum();
         let top_decile: f64 = sizes[sizes.len() * 9 / 10..].iter().sum();
         let narrow = widths.iter().filter(|&&w| w <= 4.0).count();
@@ -59,6 +59,7 @@ impl TraceShape {
                 percentile_sorted(v, 0.50),
                 percentile_sorted(v, 0.90),
                 percentile_sorted(v, 0.99),
+                // lint:allow(unwrap) — `of` asserts the trace is non-empty
                 *v.last().expect("nonempty"),
             ]
         };
@@ -114,6 +115,7 @@ impl std::fmt::Display for TraceShape {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::coflowgen::TraceConfig;

@@ -163,6 +163,9 @@ impl BenchmarkTrace {
             let arrival = Time::from_millis(cf.arrival_ms);
             let mut members = Vec::new();
             for &(r_rack, mb) in &cf.reducers {
+                // Truncating megabyte sizes to whole bytes is the intended
+                // rounding (sub-byte remainders are meaningless here).
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                 let per_flow =
                     ((mb * 1e6 / cf.mappers.len().max(1) as f64) as u64).max(1);
                 for &m_rack in &cf.mappers {
@@ -186,7 +189,7 @@ impl BenchmarkTrace {
             }
             if !members.is_empty() {
                 coflows.push(Coflow {
-                    id: CoflowId(i as u32),
+                    id: CoflowId::from_index(i),
                     flows: members,
                 });
             }
@@ -196,6 +199,7 @@ impl BenchmarkTrace {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,15 @@
+//! Workspace automation tasks. See [`lint`] for the static-analysis pass.
+
+pub mod lint;
+
+/// Entry point for the `xtask` binary: dispatch a subcommand, return the
+/// process exit code.
+pub fn run(args: Vec<String>) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("lint") => lint::cli(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--format json] [PATH...]");
+            2
+        }
+    }
+}

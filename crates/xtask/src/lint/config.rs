@@ -1,0 +1,136 @@
+//! The checked-in allowlist: `lint.toml` at the workspace root.
+//!
+//! Format (a deliberately tiny TOML subset — `[[allow]]` tables with string
+//! keys only):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "unwrap"
+//! path = "crates/sim/src/stats.rs"
+//! reason = "percentile lookup is bounds-checked by construction"
+//! ```
+//!
+//! `path` is an exact workspace-relative file path, or a prefix ending in
+//! `/` matching everything under a directory.
+
+/// One allowlist entry.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Rule name this entry suppresses.
+    pub rule: String,
+    /// Exact path, or a `/`-terminated prefix.
+    pub path: String,
+    /// Why the suppression is sound (required, for reviewability).
+    pub reason: String,
+}
+
+impl AllowEntry {
+    /// Does this entry suppress `rule` findings in `path`?
+    pub fn matches(&self, rule: &str, path: &str) -> bool {
+        self.rule == rule
+            && (self.path == path
+                || (self.path.ends_with('/') && path.starts_with(&self.path)))
+    }
+}
+
+/// Parse `lint.toml` contents. Unknown keys or malformed lines are errors so
+/// the allowlist can't silently rot.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<AllowEntry> = None;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(done) = current.take() {
+                finish(&mut entries, done, ln)?;
+            }
+            current = Some(AllowEntry {
+                rule: String::new(),
+                path: String::new(),
+                reason: String::new(),
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("lint.toml:{}: expected `key = \"value\"`", ln + 1));
+        };
+        let entry = current
+            .as_mut()
+            .ok_or_else(|| format!("lint.toml:{}: key outside [[allow]] table", ln + 1))?;
+        let value = value.trim();
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("lint.toml:{}: value must be a quoted string", ln + 1))?;
+        match key.trim() {
+            "rule" => entry.rule = value.to_string(),
+            "path" => entry.path = value.to_string(),
+            "reason" => entry.reason = value.to_string(),
+            other => {
+                return Err(format!("lint.toml:{}: unknown key `{other}`", ln + 1));
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        let end = text.lines().count();
+        finish(&mut entries, done, end)?;
+    }
+    Ok(entries)
+}
+
+fn finish(entries: &mut Vec<AllowEntry>, entry: AllowEntry, ln: usize) -> Result<(), String> {
+    if entry.rule.is_empty() || entry.path.is_empty() || entry.reason.is_empty() {
+        return Err(format!(
+            "lint.toml: [[allow]] table ending near line {} needs rule, path and reason",
+            ln + 1
+        ));
+    }
+    if !super::rules::RULES.contains(&entry.rule.as_str()) {
+        return Err(format!(
+            "lint.toml: unknown rule `{}` (known: {})",
+            entry.rule,
+            super::rules::RULES.join(", ")
+        ));
+    }
+    entries.push(entry);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_prefixes() {
+        let text = r#"
+# comment
+[[allow]]
+rule = "unwrap"
+path = "crates/sim/src/stats.rs"
+reason = "audited"
+
+[[allow]]
+rule = "map-iteration"
+path = "crates/topo/src/"
+reason = "sorted before iteration"
+"#;
+        let entries = parse(text).expect("parse");
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].matches("unwrap", "crates/sim/src/stats.rs"));
+        assert!(!entries[0].matches("unwrap", "crates/sim/src/other.rs"));
+        assert!(entries[1].matches("map-iteration", "crates/topo/src/deep/file.rs"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("rule = \"unwrap\"").is_err(), "key outside table");
+        assert!(parse("[[allow]]\nrule = \"unwrap\"\npath = \"x\"").is_err(), "missing reason");
+        assert!(
+            parse("[[allow]]\nrule = \"nope\"\npath = \"x\"\nreason = \"y\"").is_err(),
+            "unknown rule"
+        );
+    }
+}

@@ -1,0 +1,421 @@
+//! A minimal Rust lexer for the lint pass.
+//!
+//! Produces a token stream with line/column positions, with comments and
+//! string/char literals stripped (so rule matching never fires inside them),
+//! while extracting two side channels the driver needs:
+//!
+//! * `// lint:allow(rule, ...)` suppression comments, by line;
+//! * `#[cfg(test)]`-gated regions, marked per token, so library-code rules
+//!   skip inline test modules.
+//!
+//! This is not a full Rust lexer — it only has to be exact about the things
+//! that would cause false positives (comments, strings, lifetimes vs char
+//! literals, raw strings). Everything else degrades to single-character
+//! punctuation tokens, which is all the rules need.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (including suffixes like `0u64`).
+    Num,
+    /// A single punctuation character.
+    Punct,
+    /// A lifetime such as `'a` (kept distinct so it never looks like an ident).
+    Lifetime,
+}
+
+/// One lexed token with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// The token text (single char for punctuation).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+    /// True if the token sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with exactly this char?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A `// lint:allow(...)` directive found during lexing.
+#[derive(Clone, Debug)]
+pub struct AllowDirective {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// The rule names listed inside the parentheses.
+    pub rules: Vec<String>,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and literals stripped.
+    pub tokens: Vec<Token>,
+    /// All suppression directives, in file order.
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Lex `source`, extracting tokens and `lint:allow` directives, then mark
+/// `#[cfg(test)]` regions.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    // Advance over `n` chars, updating line/col.
+    macro_rules! bump {
+        ($n:expr) => {
+            for _ in 0..$n {
+                if i < chars.len() {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        if c.is_whitespace() {
+            bump!(1);
+        } else if c == '/' && chars.get(i + 1) == Some(&'/') {
+            // Line comment; may carry a lint:allow directive.
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                bump!(1);
+            }
+            let text: String = chars[start..i].iter().collect();
+            if let Some(rules) = parse_allow(&text) {
+                out.allows.push(AllowDirective { line: tline, rules });
+            }
+        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+            // Block comment, nested.
+            bump!(2);
+            let mut depth = 1;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    bump!(2);
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    bump!(2);
+                } else {
+                    bump!(1);
+                }
+            }
+        } else if c == '"' {
+            bump!(1);
+            skip_string_body(&chars, &mut i, &mut line, &mut col);
+        } else if c == '\'' {
+            // Char literal or lifetime.
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(_) => after == Some('\''),
+                None => false,
+            };
+            if is_char {
+                bump!(1); // opening quote
+                if chars.get(i) == Some(&'\\') {
+                    bump!(2); // backslash + escape head (may continue, e.g. \u{...})
+                    while i < chars.len() && chars[i] != '\'' {
+                        bump!(1);
+                    }
+                } else {
+                    bump!(1);
+                }
+                bump!(1); // closing quote
+            } else {
+                // Lifetime: 'ident
+                bump!(1);
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    bump!(1);
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                    in_test: false,
+                });
+            }
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                bump!(1);
+            }
+            let text: String = chars[start..i].iter().collect();
+            // String prefixes: r"", r#""#, b"", br#""#, c"" ...
+            let is_raw_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr");
+            if is_raw_prefix && matches!(chars.get(i), Some('"') | Some('#')) {
+                // Count leading hashes (raw strings).
+                let mut hashes = 0usize;
+                while chars.get(i + hashes) == Some(&'#') {
+                    hashes += 1;
+                }
+                if chars.get(i + hashes) == Some(&'"') {
+                    bump!(hashes + 1);
+                    if hashes == 0 && !text.contains('r') {
+                        // Plain b"..." honors escapes.
+                        skip_string_body(&chars, &mut i, &mut line, &mut col);
+                    } else {
+                        // Raw string: ends at `"` followed by `hashes` hashes.
+                        loop {
+                            if i >= chars.len() {
+                                break;
+                            }
+                            if chars[i] == '"' {
+                                let mut ok = true;
+                                for h in 0..hashes {
+                                    if chars.get(i + 1 + h) != Some(&'#') {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                                if ok {
+                                    bump!(1 + hashes);
+                                    break;
+                                }
+                            }
+                            bump!(1);
+                        }
+                    }
+                    continue;
+                }
+                // A lone `#` after r/b that is not a raw string: fall through,
+                // emit the ident; the `#` lexes as punctuation next round.
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line: tline,
+                col: tcol,
+                in_test: false,
+            });
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                bump!(1);
+            }
+            // Fractional part — but never eat `..` (range syntax).
+            if chars.get(i) == Some(&'.')
+                && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+            {
+                bump!(1);
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    bump!(1);
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Num,
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+                in_test: false,
+            });
+        } else {
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line: tline,
+                col: tcol,
+                in_test: false,
+            });
+            bump!(1);
+        }
+    }
+
+    mark_test_regions(&mut out.tokens);
+    out
+}
+
+/// Consume a (non-raw) string body after the opening quote, honoring escapes.
+fn skip_string_body(chars: &[char], i: &mut usize, line: &mut u32, col: &mut u32) {
+    while *i < chars.len() {
+        let c = chars[*i];
+        if c == '\n' {
+            *line += 1;
+            *col = 1;
+            *i += 1;
+        } else if c == '\\' {
+            *col += 1;
+            *i += 1;
+            if *i < chars.len() {
+                if chars[*i] == '\n' {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+                *i += 1;
+            }
+        } else if c == '"' {
+            *col += 1;
+            *i += 1;
+            return;
+        } else {
+            *col += 1;
+            *i += 1;
+        }
+    }
+}
+
+/// Parse `lint:allow(rule, rule2)` out of a line comment, if present.
+fn parse_allow(comment: &str) -> Option<Vec<String>> {
+    let at = comment.find("lint:allow(")?;
+    let rest = &comment[at + "lint:allow(".len()..];
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        None
+    } else {
+        Some(rules)
+    }
+}
+
+/// Mark tokens inside `#[cfg(test)] mod ... { ... }` regions (and any other
+/// `#[cfg(test)]`-gated item with a braced body).
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut idx = 0usize;
+    while idx < tokens.len() {
+        if is_cfg_test_at(tokens, idx) {
+            // Find the opening brace of the gated item, then match braces.
+            let mut j = idx + 7; // past `# [ cfg ( test ) ]`
+            let mut open = None;
+            // The item header is short (`mod tests {`, `fn x() {`); bound the scan.
+            for (probe, tok) in tokens.iter().enumerate().skip(j).take(40) {
+                if tok.is_punct('{') {
+                    open = Some(probe);
+                    break;
+                }
+                if tok.is_punct(';') {
+                    break; // e.g. `#[cfg(test)] use ...;`
+                }
+            }
+            if let Some(start) = open {
+                let mut depth = 0i32;
+                j = start;
+                while j < tokens.len() {
+                    if tokens[j].is_punct('{') {
+                        depth += 1;
+                    } else if tokens[j].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    tokens[j].in_test = true;
+                    j += 1;
+                }
+                if j < tokens.len() {
+                    tokens[j].in_test = true; // closing brace
+                }
+                idx = j + 1;
+                continue;
+            }
+        }
+        idx += 1;
+    }
+}
+
+/// Does `# [ cfg ( test ) ]` start at `idx`?
+fn is_cfg_test_at(tokens: &[Token], idx: usize) -> bool {
+    let pat: [&dyn Fn(&Token) -> bool; 7] = [
+        &|t| t.is_punct('#'),
+        &|t| t.is_punct('['),
+        &|t| t.is_ident("cfg"),
+        &|t| t.is_punct('('),
+        &|t| t.is_ident("test"),
+        &|t| t.is_punct(')'),
+        &|t| t.is_punct(']'),
+    ];
+    if idx + pat.len() > tokens.len() {
+        return false;
+    }
+    pat.iter().enumerate().all(|(k, m)| m(&tokens[idx + k]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let lexed = lex(r##"
+            // HashMap in a comment does not count
+            /* neither /* nested */ here: HashMap */
+            let s = "HashMap inside a string";
+            let r = r#"raw HashMap"# ;
+            let c = 'H';
+            let lt: &'static str = s;
+        "##);
+        assert!(!lexed.tokens.iter().any(|t| t.text == "HashMap"));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("static") || t.kind == TokenKind::Lifetime));
+    }
+
+    #[test]
+    fn allow_directives_are_collected() {
+        let lexed = lex("let x = 1; // lint:allow(unwrap, raw-cast) — audited\n");
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].rules, vec!["unwrap", "raw-cast"]);
+        assert_eq!(lexed.allows[0].line, 1);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let lexed = lex(
+            "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { y.unwrap(); }\n}\nfn tail() {}\n",
+        );
+        let unwraps: Vec<bool> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.is_ident("unwrap"))
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+        let tail = lexed.tokens.iter().find(|t| t.is_ident("tail")).expect("tail token");
+        assert!(!tail.in_test);
+    }
+
+    #[test]
+    fn ranges_do_not_confuse_number_lexing() {
+        let lexed = lex("for i in 0..10 { let f = 1.5e3; }");
+        let nums: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e3"]);
+    }
+}

@@ -1,0 +1,389 @@
+//! `cargo xtask lint` — the determinism & invariant static-analysis pass.
+//!
+//! ShareBackup's headline claim (recovery with no bandwidth loss and no path
+//! dilation) is only reproducible if every simulated run is bit-for-bit
+//! deterministic. This pass enforces the four rules that protect that
+//! property across the whole workspace; see [`rules`] for the rule table.
+//!
+//! Suppressions:
+//! * inline — `// lint:allow(rule)` on the finding's line or the line above;
+//! * checked-in — `lint.toml` at the workspace root (see [`config`]).
+//!
+//! Output is human-readable by default; `--format json` emits a machine
+//! readable report that round-trips through the `minijson` parser.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Which cargo target kind a file belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/**` of a crate (excluding `src/bin`): rules for library code apply.
+    Library,
+    /// `src/bin/**` or `src/main.rs`: binaries may panic on bad input.
+    Bin,
+    /// `tests/**`: integration tests.
+    Test,
+    /// `examples/**`.
+    Example,
+    /// `benches/**`.
+    Bench,
+}
+
+/// Everything the rules need to know about a file's place in the workspace.
+#[derive(Clone, Debug)]
+pub struct FileClass {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Target kind.
+    pub kind: FileKind,
+    /// True for the simulation-path crates whose behavior must be
+    /// deterministic: `sim`, `topo`, `routing`, `flowsim`, `packet`, `core`,
+    /// `workload` — plus the root facade crate.
+    pub sim_path: bool,
+    /// True inside `crates/bench` (exempt from `ambient-rng`: wall-clock
+    /// timing is the point of a benchmark harness).
+    pub bench_crate: bool,
+}
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule name (see [`rules::RULES`]).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// True if an inline directive or `lint.toml` entry suppresses it.
+    pub suppressed: bool,
+}
+
+/// Crates whose simulation results must be bit-for-bit reproducible.
+pub const SIM_PATH_CRATES: [&str; 7] =
+    ["sim", "topo", "routing", "flowsim", "packet", "core", "workload"];
+
+/// Classify a workspace-relative path, or return `None` if the file is not
+/// part of any lintable target (e.g. fixtures).
+pub fn classify(rel: &str) -> Option<FileClass> {
+    if !rel.ends_with(".rs") || rel.contains("/fixtures/") {
+        return None;
+    }
+    let (crate_name, rest) = match rel.strip_prefix("crates/") {
+        Some(inner) => {
+            let (name, rest) = inner.split_once('/')?;
+            (name, rest)
+        }
+        None => ("", rel),
+    };
+    let kind = if rest.starts_with("src/bin/") || rest == "src/main.rs" {
+        FileKind::Bin
+    } else if rest.starts_with("src/") {
+        FileKind::Library
+    } else if rest.starts_with("tests/") {
+        FileKind::Test
+    } else if rest.starts_with("examples/") {
+        FileKind::Example
+    } else if rest.starts_with("benches/") {
+        FileKind::Bench
+    } else {
+        return None;
+    };
+    let sim_path = SIM_PATH_CRATES.contains(&crate_name)
+        || (crate_name.is_empty() && kind == FileKind::Library);
+    Some(FileClass {
+        path: rel.to_string(),
+        kind,
+        sim_path,
+        bench_crate: crate_name == "bench",
+    })
+}
+
+/// Lint one file's source text under a classification and allowlist, marking
+/// suppressed findings rather than dropping them (so reports can show both).
+pub fn lint_source(
+    class: &FileClass,
+    source: &str,
+    allowlist: &[config::AllowEntry],
+) -> Vec<Finding> {
+    let lexed = lexer::lex(source);
+    let mut findings = rules::check(class, &lexed);
+    for f in &mut findings {
+        let inline = lexed.allows.iter().any(|a| {
+            (a.line == f.line || a.line + 1 == f.line)
+                && a.rules.iter().any(|r| r == &f.rule)
+        });
+        let listed = allowlist.iter().any(|e| e.matches(&f.rule, &f.path));
+        f.suppressed = inline || listed;
+    }
+    findings
+}
+
+/// Recursively collect `.rs` files under `dir` (sorted for determinism),
+/// skipping build output, VCS metadata and lint fixtures.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "target" | ".git" | "fixtures" | "results") {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Locate the workspace root: walk up from `start` until a `Cargo.toml`
+/// containing `[workspace]` appears.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Lint the whole workspace rooted at `root`. Returns findings (suppressed
+/// ones included, marked) plus the number of files scanned.
+pub fn lint_workspace(root: &Path) -> Result<(Vec<Finding>, usize), String> {
+    let allowlist = match fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => config::parse(&text)?,
+        Err(_) => Vec::new(),
+    };
+    let mut files = Vec::new();
+    for top in ["src", "tests", "examples", "crates"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|e| e.to_string())?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(class) = classify(&rel) else {
+            continue;
+        };
+        let source =
+            fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        scanned += 1;
+        findings.extend(lint_source(&class, &source, &allowlist));
+    }
+    Ok((findings, scanned))
+}
+
+/// Render findings as a JSON report (round-trips through `minijson`).
+pub fn json_report(findings: &[Finding], scanned: usize) -> minijson::Value {
+    let active: Vec<minijson::Value> = findings
+        .iter()
+        .filter(|f| !f.suppressed)
+        .map(|f| {
+            minijson::json!({
+                "rule": f.rule.as_str(),
+                "path": f.path.as_str(),
+                "line": u64::from(f.line),
+                "col": u64::from(f.col),
+                "message": f.message.as_str(),
+            })
+        })
+        .collect();
+    let suppressed = findings.iter().filter(|f| f.suppressed).count();
+    minijson::json!({
+        "files_scanned": scanned,
+        "suppressed": suppressed,
+        "findings": active,
+    })
+}
+
+/// CLI entry: `cargo xtask lint [--format json|human] [PATH...]`.
+pub fn cli(args: &[String]) -> i32 {
+    let mut format = "human".to_string();
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next() {
+                Some(v) if v == "json" || v == "human" => format = v.clone(),
+                _ => {
+                    eprintln!("--format takes `json` or `human`");
+                    return 2;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: cargo xtask lint [--format json|human] [PATH...]");
+                return 0;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`");
+                return 2;
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = find_root(&cwd) else {
+        eprintln!("lint: could not locate the workspace root from {}", cwd.display());
+        return 2;
+    };
+
+    let result = if paths.is_empty() {
+        lint_workspace(&root)
+    } else {
+        lint_paths(&root, &paths)
+    };
+    let (findings, scanned) = match result {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return 2;
+        }
+    };
+
+    let active: Vec<&Finding> = findings.iter().filter(|f| !f.suppressed).collect();
+    if format == "json" {
+        let report = json_report(&findings, scanned);
+        match minijson::to_string_pretty(&report) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("lint: {e}");
+                return 2;
+            }
+        }
+    } else {
+        for f in &active {
+            println!("{}:{}:{} [{}] {}", f.path, f.line, f.col, f.rule, f.message);
+        }
+        let suppressed = findings.len() - active.len();
+        println!(
+            "lint: {} file(s) scanned, {} finding(s), {} suppressed",
+            scanned,
+            active.len(),
+            suppressed
+        );
+    }
+    i32::from(!active.is_empty())
+}
+
+/// Lint an explicit list of files (workspace-relative or absolute).
+fn lint_paths(root: &Path, paths: &[String]) -> Result<(Vec<Finding>, usize), String> {
+    let allowlist = match fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => config::parse(&text)?,
+        Err(_) => Vec::new(),
+    };
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for p in paths {
+        let abs = if Path::new(p).is_absolute() {
+            PathBuf::from(p)
+        } else {
+            root.join(p)
+        };
+        let rel = abs
+            .strip_prefix(root)
+            .map_err(|_| format!("{p}: outside the workspace"))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(class) = classify(&rel) else {
+            return Err(format!("{p}: not a lintable workspace source file"));
+        };
+        let source = fs::read_to_string(&abs).map_err(|e| format!("{p}: {e}"))?;
+        scanned += 1;
+        findings.extend(lint_source(&class, &source, &allowlist));
+    }
+    Ok((findings, scanned))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_layout() {
+        let lib = classify("crates/sim/src/rng.rs").expect("lib");
+        assert_eq!(lib.kind, FileKind::Library);
+        assert!(lib.sim_path && !lib.bench_crate);
+
+        let bin = classify("crates/bench/src/bin/scorecard.rs").expect("bin");
+        assert_eq!(bin.kind, FileKind::Bin);
+        assert!(bin.bench_crate && !bin.sim_path);
+
+        let root_lib = classify("src/lib.rs").expect("root");
+        assert!(root_lib.sim_path);
+        assert_eq!(root_lib.kind, FileKind::Library);
+
+        let test = classify("crates/topo/tests/structure_properties.rs").expect("test");
+        assert_eq!(test.kind, FileKind::Test);
+        assert!(test.sim_path);
+
+        assert!(classify("crates/xtask/tests/fixtures/unwrap.rs").is_none());
+        assert!(classify("README.md").is_none());
+    }
+
+    #[test]
+    fn inline_allow_suppresses_same_and_next_line() {
+        let class = classify("crates/sim/src/x.rs").expect("class");
+        let src = "\
+use std::collections::HashMap; // lint:allow(map-iteration) — justified
+// lint:allow(map-iteration) — next-line form
+type T = HashMap<u32, u32>;
+type U = HashMap<u32, u32>;
+";
+        let findings = lint_source(&class, src, &[]);
+        assert_eq!(findings.len(), 3);
+        assert!(findings[0].suppressed, "same-line allow");
+        assert!(findings[1].suppressed, "next-line allow");
+        assert!(!findings[2].suppressed, "no allow");
+    }
+
+    #[test]
+    fn allowlist_suppresses_by_path() {
+        let class = classify("crates/sim/src/x.rs").expect("class");
+        let allow = config::parse(
+            "[[allow]]\nrule = \"map-iteration\"\npath = \"crates/sim/src/\"\nreason = \"r\"\n",
+        )
+        .expect("allowlist");
+        let findings = lint_source(&class, "type T = HashSet<u32>;", &allow);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].suppressed);
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let class = classify("crates/sim/src/x.rs").expect("class");
+        let findings = lint_source(&class, "type T = HashMap<u32, u32>;", &[]);
+        let report = json_report(&findings, 1);
+        let text = minijson::to_string_pretty(&report).expect("serialize");
+        let back = minijson::from_str(&text).expect("parse");
+        assert_eq!(back, report);
+        let items = back.get("findings").and_then(minijson::Value::as_array).expect("array");
+        assert_eq!(items.len(), 1);
+        assert_eq!(
+            items[0].get("rule").and_then(minijson::Value::as_str),
+            Some("map-iteration")
+        );
+    }
+}

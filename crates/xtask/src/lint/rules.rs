@@ -1,0 +1,259 @@
+//! The four determinism & invariant rules.
+//!
+//! | rule            | scope                                   | what it catches |
+//! |-----------------|-----------------------------------------|-----------------|
+//! | `map-iteration` | simulation-path crates (all code)       | `HashMap` / `HashSet` use — iteration order is nondeterministic |
+//! | `ambient-rng`   | everywhere except `crates/bench`        | `thread_rng`, `rand::…`, `SystemTime`, `Instant` — randomness must flow through `SimRng`, time through the virtual clock |
+//! | `unwrap`        | library code (non-test, non-bin)        | `.unwrap()` / `.expect()` — return `Result`/use `sim::error` types |
+//! | `raw-cast`      | simulation-path library code            | bare `as` integer casts on `Time`/`Duration`/ID arithmetic |
+
+use super::lexer::{Lexed, Token, TokenKind};
+use super::{FileClass, FileKind, Finding};
+
+/// Names of every rule, in reporting order.
+pub const RULES: [&str; 4] = ["map-iteration", "ambient-rng", "unwrap", "raw-cast"];
+
+/// Integer target types a `raw-cast` finding can cast to.
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Identifiers that mark an expression as Time/ID arithmetic for `raw-cast`.
+const TRACKED_NAMES: [&str; 13] = [
+    "Time", "Duration", "NodeId", "LinkId", "PhysId", "GroupId", "SlotId", "CoflowId",
+    "FlowKey", "as_nanos", "as_micros", "as_millis", "as_secs",
+];
+
+/// Run every applicable rule over one lexed file.
+pub fn check(class: &FileClass, lexed: &Lexed) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    map_iteration(class, lexed, &mut findings);
+    ambient_rng(class, lexed, &mut findings);
+    unwrap_rule(class, lexed, &mut findings);
+    raw_cast(class, lexed, &mut findings);
+    findings.sort_by_key(|f| (f.line, f.col));
+    findings
+}
+
+fn push(
+    findings: &mut Vec<Finding>,
+    class: &FileClass,
+    token: &Token,
+    rule: &'static str,
+    message: String,
+) {
+    findings.push(Finding {
+        rule: rule.to_string(),
+        path: class.path.clone(),
+        line: token.line,
+        col: token.col,
+        message,
+        suppressed: false,
+    });
+}
+
+/// D1: no `HashMap`/`HashSet` anywhere in simulation-path crates.
+fn map_iteration(class: &FileClass, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    if !class.sim_path {
+        return;
+    }
+    for t in &lexed.tokens {
+        if t.kind == TokenKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            push(
+                findings,
+                class,
+                t,
+                "map-iteration",
+                format!(
+                    "`{}` iterates in nondeterministic order; use BTreeMap/BTreeSet or a sorted Vec (determinism rule D1)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// D2: no ambient nondeterminism outside `crates/bench`.
+fn ambient_rng(class: &FileClass, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    if class.bench_crate {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "thread_rng" | "SystemTime" | "Instant" => true,
+            // `rand::...` — any path into the external rand crate.
+            "rand" => toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|a| a.is_punct(':')),
+            _ => false,
+        };
+        if flagged {
+            push(
+                findings,
+                class,
+                t,
+                "ambient-rng",
+                format!(
+                    "`{}` is ambient nondeterminism; all randomness must flow through a seeded `SimRng` and all time through the virtual clock (determinism rule D2)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// D3: no `.unwrap()` / `.expect(` in library code.
+fn unwrap_rule(class: &FileClass, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    if class.kind != FileKind::Library {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if (t.text == "unwrap" || t.text == "expect")
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|a| a.is_punct('('))
+        {
+            push(
+                findings,
+                class,
+                t,
+                "unwrap",
+                format!(
+                    "`.{}()` in library code can panic; return a Result (see `sharebackup_sim::error`) or handle the None/Err case (rule D3)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// D4: no bare `as` integer casts on Time/ID arithmetic in simulation-path
+/// library code.
+fn raw_cast(class: &FileClass, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    if !class.sim_path || class.kind != FileKind::Library {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || !t.is_ident("as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if !(target.kind == TokenKind::Ident && INT_TYPES.contains(&target.text.as_str())) {
+            continue;
+        }
+        if operand_is_tracked(toks, i) {
+            push(
+                findings,
+                class,
+                t,
+                "raw-cast",
+                format!(
+                    "bare `as {}` cast on Time/ID arithmetic can silently truncate; use From/TryFrom or a checked helper (rule D4)",
+                    target.text
+                ),
+            );
+        }
+    }
+}
+
+/// Scan backwards from the `as` keyword over its operand expression looking
+/// for a tracked Time/ID name. The scan stops at a statement/argument
+/// boundary (`;`, `{`, `}`, `=`, or a `,`/`(`/`[` at depth zero), tracking
+/// bracket depth so nested calls like `x.as_nanos()` are traversed. When the
+/// boundary is a call opener, the callee identifier is also inspected, so
+/// constructor forms like `NodeId(x as u32)` are caught too.
+fn operand_is_tracked(toks: &[Token], as_idx: usize) -> bool {
+    let mut depth = 0i32;
+    let mut j = as_idx;
+    let mut budget = 48;
+    while j > 0 && budget > 0 {
+        j -= 1;
+        budget -= 1;
+        let t = &toks[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.chars().next() {
+                Some(')') | Some(']') => depth += 1,
+                Some('(') | Some('[') => {
+                    if depth > 0 {
+                        depth -= 1;
+                        continue;
+                    }
+                    // Boundary: peek at the callee, if any.
+                    return j > 0
+                        && toks[j - 1].kind == TokenKind::Ident
+                        && TRACKED_NAMES.contains(&toks[j - 1].text.as_str());
+                }
+                Some(';') | Some('{') | Some('}') | Some('=') => return false,
+                Some(',') if depth == 0 => return false,
+                _ => {}
+            }
+        } else if t.kind == TokenKind::Ident
+            && depth == 0
+            && TRACKED_NAMES.contains(&t.text.as_str())
+        {
+            return true;
+        } else if t.kind == TokenKind::Ident && depth > 0 {
+            // Inside a traversed call: method names still count.
+            if TRACKED_NAMES.contains(&t.text.as_str()) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer::lex;
+    use super::super::{FileClass, FileKind};
+    use super::*;
+
+    fn lib_class(sim_path: bool) -> FileClass {
+        FileClass {
+            path: "crates/sim/src/x.rs".to_string(),
+            kind: FileKind::Library,
+            sim_path,
+            bench_crate: false,
+        }
+    }
+
+    #[test]
+    fn tracked_cast_detection() {
+        let lexed = lex("fn f(t: Time) -> usize { t.as_nanos() as usize }");
+        let found = check(&lib_class(true), &lexed);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "raw-cast");
+    }
+
+    #[test]
+    fn constructor_cast_detection() {
+        let lexed = lex("fn f(x: u64) -> NodeId { NodeId(x as u32) }");
+        let found = check(&lib_class(true), &lexed);
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn unrelated_cast_is_clean() {
+        let lexed = lex("fn f(x: u16) -> u32 { x as u32 }");
+        assert!(check(&lib_class(true), &lexed).is_empty());
+    }
+
+    #[test]
+    fn boundary_stops_scan() {
+        // The Time is in a *previous* statement; the cast itself is clean.
+        let lexed = lex("fn f(t: Time) -> u32 { let _n = t; let x = 7u64; x as u32 }");
+        assert!(check(&lib_class(true), &lexed).is_empty());
+    }
+}

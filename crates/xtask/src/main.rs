@@ -1,0 +1,5 @@
+//! `cargo xtask` — workspace automation driver.
+
+fn main() {
+    std::process::exit(xtask::run(std::env::args().skip(1).collect()));
+}

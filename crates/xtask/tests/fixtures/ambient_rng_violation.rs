@@ -1,0 +1,13 @@
+//! Fixture: D2 violations — ambient nondeterminism outside `crates/bench`.
+//! Staged as `crates/workload/src/bad_rng.rs` by the integration tests.
+
+use std::time::{Instant, SystemTime};
+
+pub fn jitter() -> u64 {
+    // Wall-clock reads make runs unreproducible.
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let r: u64 = rand::random();
+    let _ = (t0, wall);
+    r ^ rand::thread_rng().next_u64()
+}

@@ -1,0 +1,22 @@
+//! Fixture: a fully clean simulation-path library file — deterministic
+//! containers, no ambient entropy, no panicking accessors, checked casts.
+
+use std::collections::BTreeMap;
+
+pub struct Time(pub u64);
+
+pub fn histogram(xs: &[u32]) -> BTreeMap<u32, usize> {
+    let mut h = BTreeMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}
+
+pub fn widen(t: &Time) -> u128 {
+    u128::from(t.0)
+}
+
+pub fn narrow(t: &Time) -> Option<u32> {
+    u32::try_from(t.0).ok()
+}

@@ -1,0 +1,13 @@
+//! Fixture: a D1 violation suppressed by an inline `lint:allow` directive.
+//! Staged as `crates/topo/src/allowed_map.rs` by the integration tests.
+
+// lint:allow(map-iteration) — values are drained into a sorted Vec below.
+use std::collections::HashMap; // lint:allow(map-iteration)
+
+// lint:allow(map-iteration) — the map is a read-only input, sorted below
+pub fn sorted_counts(counts: &HashMap<u32, usize>) -> Vec<(u32, usize)> {
+    // lint:allow(map-iteration) — sorted immediately after collection.
+    let mut v: Vec<(u32, usize)> = counts.iter().map(|(k, c)| (*k, *c)).collect();
+    v.sort_unstable();
+    v
+}

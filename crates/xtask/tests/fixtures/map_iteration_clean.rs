@@ -1,0 +1,14 @@
+//! Fixture: the deterministic counterpart of `map_iteration_violation.rs`.
+//! `BTreeMap`/`BTreeSet` iterate in key order, so this file is clean.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.values().sum::<usize>() + seen.len()
+}

@@ -1,0 +1,16 @@
+//! Fixture: D1 violation — `HashMap`/`HashSet` in a simulation-path crate.
+//! Staged as `crates/sim/src/bad_map.rs` by the integration tests.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    // Iteration order over `counts` is nondeterministic — exactly the bug
+    // class rule D1 exists to catch.
+    counts.values().sum::<usize>() + seen.len()
+}

@@ -1,0 +1,25 @@
+//! Fixture: D4 violations — bare `as` integer casts on Time/ID arithmetic.
+//! Staged as `crates/sim/src/bad_cast.rs` by the integration tests.
+
+pub struct Time(pub u64);
+pub struct NodeId(pub u32);
+
+impl Time {
+    pub fn as_nanos(&self) -> u64 {
+        self.0
+    }
+}
+
+pub fn truncate_time(t: Time) -> u32 {
+    // Silently truncates after ~4.3 seconds of simulated time.
+    t.as_nanos() as u32
+}
+
+pub fn node_from_wide(x: u64) -> NodeId {
+    NodeId(x as u32)
+}
+
+pub fn unrelated_cast(x: u16) -> u32 {
+    // Not Time/ID arithmetic — must NOT be flagged.
+    x as u32
+}

@@ -1,0 +1,23 @@
+//! Fixture: D3 violations — `.unwrap()`/`.expect()` in library code.
+//! Staged as `crates/routing/src/bad_unwrap.rs` by the integration tests.
+//! The `#[cfg(test)]` module at the bottom must NOT be flagged.
+
+pub fn first_even(xs: &[u32]) -> u32 {
+    *xs.iter().find(|x| *x % 2 == 0).unwrap()
+}
+
+pub fn parse_port(s: &str) -> u16 {
+    s.parse().expect("port")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        assert_eq!(first_even(&[1, 2]), 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! End-to-end tests for `cargo xtask lint`: each test stages fixture files
+//! into a throwaway workspace and drives the real `xtask` binary, asserting
+//! on exit codes and report contents.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+/// A scratch workspace under the OS temp dir, deleted on drop.
+struct TempWorkspace {
+    root: PathBuf,
+}
+
+impl TempWorkspace {
+    fn new(tag: &str) -> Self {
+        // CARGO_TARGET_TMPDIR keeps scratch workspaces under target/tmp.
+        let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("xtask-lint-{tag}"));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create temp workspace");
+        fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+        Self { root }
+    }
+
+    fn stage(&self, rel: &str, contents: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("create dirs");
+        fs::write(&path, contents).expect("write staged file");
+    }
+
+    fn lint(&self, args: &[&str]) -> (i32, String, String) {
+        let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+            .arg("lint")
+            .args(args)
+            .current_dir(&self.root)
+            .output()
+            .expect("run xtask lint");
+        (
+            out.status.code().unwrap_or(-1),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    }
+}
+
+impl Drop for TempWorkspace {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn violations_fail_the_lint() {
+    let ws = TempWorkspace::new("violations");
+    ws.stage("crates/sim/src/bad_map.rs", &fixture("map_iteration_violation.rs"));
+    ws.stage("crates/workload/src/bad_rng.rs", &fixture("ambient_rng_violation.rs"));
+    ws.stage("crates/routing/src/bad_unwrap.rs", &fixture("unwrap_violation.rs"));
+    ws.stage("crates/sim/src/bad_cast.rs", &fixture("raw_cast_violation.rs"));
+
+    let (code, stdout, _) = ws.lint(&[]);
+    assert_eq!(code, 1, "violations must fail the lint\n{stdout}");
+    for rule in ["map-iteration", "ambient-rng", "unwrap", "raw-cast"] {
+        assert!(stdout.contains(&format!("[{rule}]")), "missing rule {rule}:\n{stdout}");
+    }
+    // The #[cfg(test)] unwraps and the unrelated u16→u32 cast stay clean.
+    assert!(!stdout.contains("unwrap_in_tests_is_fine"));
+    assert!(
+        !stdout.lines().any(|l| l.contains("bad_cast.rs:2") && l.contains("raw-cast")),
+        "unrelated cast must not be flagged:\n{stdout}"
+    );
+}
+
+#[test]
+fn clean_files_pass() {
+    let ws = TempWorkspace::new("clean");
+    ws.stage("crates/sim/src/good_map.rs", &fixture("map_iteration_clean.rs"));
+    ws.stage("crates/topo/src/clean.rs", &fixture("clean.rs"));
+
+    let (code, stdout, stderr) = ws.lint(&[]);
+    assert_eq!(code, 0, "clean files must pass\nstdout:{stdout}\nstderr:{stderr}");
+    assert!(stdout.contains("0 finding(s)"), "{stdout}");
+}
+
+#[test]
+fn inline_allow_suppresses() {
+    let ws = TempWorkspace::new("inline-allow");
+    ws.stage("crates/topo/src/allowed_map.rs", &fixture("inline_allow.rs"));
+
+    let (code, stdout, _) = ws.lint(&[]);
+    assert_eq!(code, 0, "inline-allowed findings must not fail the lint\n{stdout}");
+    assert!(!stdout.contains("0 suppressed"), "suppressions should be counted:\n{stdout}");
+}
+
+#[test]
+fn lint_toml_allowlist_suppresses() {
+    let ws = TempWorkspace::new("allowlist");
+    ws.stage("crates/sim/src/bad_map.rs", &fixture("map_iteration_violation.rs"));
+    ws.stage(
+        "lint.toml",
+        "[[allow]]\n\
+         rule = \"map-iteration\"\n\
+         path = \"crates/sim/src/bad_map.rs\"\n\
+         reason = \"fixture: exercising the checked-in allowlist\"\n",
+    );
+
+    let (code, stdout, _) = ws.lint(&[]);
+    assert_eq!(code, 0, "allowlisted findings must not fail the lint\n{stdout}");
+}
+
+#[test]
+fn malformed_lint_toml_is_an_error() {
+    let ws = TempWorkspace::new("bad-toml");
+    ws.stage("lint.toml", "[[allow]]\nrule = \"map-iteration\"\n");
+
+    let (code, _, stderr) = ws.lint(&[]);
+    assert_eq!(code, 2, "malformed allowlist must be a hard error\n{stderr}");
+}
+
+#[test]
+fn json_format_round_trips() {
+    let ws = TempWorkspace::new("json");
+    ws.stage("crates/sim/src/bad_map.rs", &fixture("map_iteration_violation.rs"));
+    ws.stage("crates/sim/src/bad_cast.rs", &fixture("raw_cast_violation.rs"));
+
+    let (code, stdout, _) = ws.lint(&["--format", "json"]);
+    assert_eq!(code, 1);
+    let report = minijson::from_str(&stdout).expect("report must be valid JSON");
+    let findings = report
+        .get("findings")
+        .and_then(minijson::Value::as_array)
+        .expect("findings array");
+    assert!(!findings.is_empty());
+    for f in findings {
+        assert!(f.get("rule").and_then(minijson::Value::as_str).is_some());
+        assert!(f.get("path").and_then(minijson::Value::as_str).is_some());
+        assert!(f.get("line").and_then(minijson::Value::as_i64).is_some());
+        assert!(f.get("message").and_then(minijson::Value::as_str).is_some());
+    }
+    assert!(report.get("files_scanned").and_then(minijson::Value::as_i64).is_some());
+}
+
+#[test]
+fn explicit_paths_are_linted() {
+    let ws = TempWorkspace::new("paths");
+    ws.stage("crates/sim/src/bad_map.rs", &fixture("map_iteration_violation.rs"));
+    ws.stage("crates/sim/src/good_map.rs", &fixture("map_iteration_clean.rs"));
+
+    let (code, _, _) = ws.lint(&["crates/sim/src/bad_map.rs"]);
+    assert_eq!(code, 1);
+    let (code, _, _) = ws.lint(&["crates/sim/src/good_map.rs"]);
+    assert_eq!(code, 0);
+}
+
+/// The acceptance gate: the real workspace must be lint-clean.
+#[test]
+fn real_workspace_is_lint_clean() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint")
+        .current_dir(repo_root)
+        .output()
+        .expect("run xtask lint");
+    assert!(
+        out.status.success(),
+        "workspace has unsuppressed lint findings:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

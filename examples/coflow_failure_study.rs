@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --release --example coflow_failure_study`
 
+#![allow(clippy::cast_possible_truncation)] // bounded rack/salt arithmetic
 use sharebackup::flowsim::{FlowSim, FlowSpec};
 use sharebackup::core::scenario::{
     sharebackup_timeline, F10World, FatTreeWorld, RecoveryMode, ShareBackupWorld, TopoEvent,

@@ -6,6 +6,7 @@
 //!
 //! Run with: `cargo run --release --example trace_shape [trace.txt]`
 
+#![allow(clippy::cast_possible_truncation)] // bounded rack/salt arithmetic
 use sharebackup::sim::{SimRng, Time};
 use sharebackup::topo::{FatTree, FatTreeConfig, HostAddr, NodeId};
 use sharebackup::workload::{BenchmarkTrace, CoflowTrace, TraceConfig, TraceShape};

@@ -1,6 +1,7 @@
 //! End-to-end integration: the same trace and the same failure through all
 //! three systems, asserting the paper's qualitative ordering.
 
+#![allow(clippy::cast_possible_truncation)] // bounded rack/salt arithmetic
 use sharebackup::core::scenario::{
     sharebackup_timeline, F10World, FatTreeWorld, RecoveryMode, SbEvent, ShareBackupWorld,
     TopoEvent,
