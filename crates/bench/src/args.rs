@@ -1,9 +1,9 @@
 //! Minimal command-line parsing shared by the harness binaries.
 //!
 //! All binaries accept `--k <even>`, `--n <backups>`, `--seed <u64>`,
-//! `--trials <count>`, `--mode <str>` and `--json`; unknown flags abort
-//! with a usage message. No external parser dependency — the flags are few
-//! and uniform.
+//! `--trials <count>`, `--mode <str>`, `--jobs <threads>` and `--json`;
+//! unknown flags abort with a usage message. No external parser dependency
+//! — the flags are few and uniform.
 
 /// Parsed common arguments with experiment-specific defaults.
 #[derive(Clone, Debug)]
@@ -18,6 +18,10 @@ pub struct Args {
     pub trials: usize,
     /// Free-form mode string (binary-specific, e.g. "node"/"link").
     pub mode: String,
+    /// Worker threads for independent trials (1 = serial). Results are
+    /// byte-identical at any value; see DESIGN.md on the determinism
+    /// contract.
+    pub jobs: usize,
     /// Emit machine-readable JSON instead of the table.
     pub json: bool,
 }
@@ -35,7 +39,7 @@ impl Args {
             let flag = argv[i].clone();
             let takes_value = matches!(
                 flag.as_str(),
-                "--k" | "--n" | "--seed" | "--trials" | "--mode"
+                "--k" | "--n" | "--seed" | "--trials" | "--mode" | "--jobs"
             );
             let value = if takes_value {
                 i += 1;
@@ -59,10 +63,17 @@ impl Args {
                         .expect("--trials wants an integer")
                 }
                 "--mode" => out.mode = value.expect("taken"),
+                "--jobs" => {
+                    out.jobs = value
+                        .expect("taken")
+                        .parse()
+                        .expect("--jobs wants an integer");
+                    assert!(out.jobs >= 1, "--jobs must be >= 1");
+                }
                 "--json" => out.json = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --k <even> --n <int> --seed <u64> --trials <int> --mode <str> --json"
+                        "flags: --k <even> --n <int> --seed <u64> --trials <int> --mode <str> --jobs <threads> --json"
                     );
                     std::process::exit(0);
                 }
@@ -85,6 +96,7 @@ impl Args {
             seed: 42,
             trials: 20,
             mode: String::new(),
+            jobs: 1,
             json: false,
         }
     }
@@ -99,6 +111,7 @@ mod tests {
         let a = Args::paper_defaults();
         assert_eq!(a.k, 16);
         assert_eq!(a.n, 1);
+        assert_eq!(a.jobs, 1);
         assert!(!a.json);
     }
 }

@@ -1,6 +1,6 @@
 //! Ablation: offline failure diagnosis on vs. off.
 //!
-//! Usage: `ablation_diagnosis [--k 8] [--trials 100] [--seed 42] [--json]`
+//! Usage: `ablation_diagnosis [--k 8] [--trials 100] [--seed 42] [--jobs N] [--json]`
 //!
 //! A link failure replaces *both* suspect switches (§4.1). With diagnosis
 //! (§4.2) the innocent side is exonerated and returns to the pool at once;
@@ -9,7 +9,7 @@
 //! `diagnosis_enabled` knob differs — and we measure switches out of
 //! service and recovery fallbacks (pool exhaustion).
 
-use sharebackup_bench::Args;
+use sharebackup_bench::{parallel_map_indexed, Args};
 use sharebackup_core::{Controller, ControllerConfig};
 use sharebackup_sim::{Duration, SimRng, Time};
 use sharebackup_topo::{GroupId, ShareBackup, ShareBackupConfig};
@@ -74,8 +74,12 @@ fn main() {
     defaults.trials = 100;
     let args = Args::parse(defaults);
 
-    let with = run(args.k, args.trials, args.seed, true);
-    let without = run(args.k, args.trials, args.seed, false);
+    // The two arms replay the same failure schedule independently, so they
+    // can run on separate threads; index order keeps `with` first.
+    let mut arms =
+        parallel_map_indexed(args.jobs, 2, |i| run(args.k, args.trials, args.seed, i == 0));
+    let without = arms.pop().expect("two arms");
+    let with = arms.pop().expect("two arms");
 
     let json = minijson::json!([
         {

@@ -1,7 +1,7 @@
 //! Ablation (paper §6): non-uniform failure-group pools — "more backup on
 //! critical devices and less backup on unimportant ones".
 //!
-//! Usage: `ablation_nonuniform [--k 8] [--trials 400] [--seed 42] [--json]`
+//! Usage: `ablation_nonuniform [--k 8] [--trials 400] [--seed 42] [--jobs N] [--json]`
 //!
 //! Edge switches are the critical devices: an edge failure strands k/2
 //! hosts that *no* rerouting can save, while agg/core failures only cost
@@ -9,7 +9,7 @@
 //! total switch budget** and measures how many host-stranding minutes each
 //! allocation leaves unmasked under an extreme failure drive.
 
-use sharebackup_bench::Args;
+use sharebackup_bench::{parallel_map_indexed, Args};
 use sharebackup_core::{Controller, ControllerConfig};
 use sharebackup_sim::{Duration, SimRng, Time};
 use sharebackup_topo::{GroupKind, ShareBackup, ShareBackupConfig};
@@ -75,17 +75,26 @@ fn main() {
         ("fabric-heavy (0,2,1)", 0, 2, 1),
     ];
 
-    let mut rows = Vec::new();
-    for &(name, ne, na, nc) in &allocations {
-        let o = run(k, ne, na, nc, args.trials, args.seed);
-        rows.push(minijson::json!({
-            "allocation": name,
-            "total_backups": o.total_backups,
-            "edge_fallbacks": o.edge_fallbacks,
-            "other_fallbacks": o.other_fallbacks,
-            "host_stranding_events": o.edge_fallbacks,
-        }));
-    }
+    // Each allocation replays the identical failure drive on its own pool
+    // layout — independent simulations, fanned out across `--jobs` threads
+    // and collected in the fixed allocation order.
+    let outcomes = parallel_map_indexed(args.jobs, allocations.len(), |i| {
+        let (_, ne, na, nc) = allocations[i];
+        run(k, ne, na, nc, args.trials, args.seed)
+    });
+    let rows: Vec<minijson::Value> = allocations
+        .iter()
+        .zip(&outcomes)
+        .map(|(&(name, ..), o)| {
+            minijson::json!({
+                "allocation": name,
+                "total_backups": o.total_backups,
+                "edge_fallbacks": o.edge_fallbacks,
+                "other_fallbacks": o.other_fallbacks,
+                "host_stranding_events": o.edge_fallbacks,
+            })
+        })
+        .collect();
 
     if args.json {
         println!(

@@ -1,6 +1,6 @@
 //! Ablation: backup-pool size `n` under elevated failure pressure.
 //!
-//! Usage: `ablation_pool_size [--k 8] [--trials 200] [--seed 42] [--json]`
+//! Usage: `ablation_pool_size [--k 8] [--trials 200] [--seed 42] [--jobs N] [--json]`
 //!
 //! The paper argues n=1 suffices at real failure rates (§5.1). This
 //! ablation cranks the failure rate far beyond reality and measures the
@@ -9,7 +9,7 @@
 //! pool at the paper's few-minute repair times.
 
 #![allow(clippy::cast_possible_truncation)] // bounded rack/salt arithmetic
-use sharebackup_bench::Args;
+use sharebackup_bench::{parallel_map_indexed, Args};
 use sharebackup_core::{Controller, ControllerConfig};
 use sharebackup_sim::{Duration, SimRng, Time};
 use sharebackup_topo::{ShareBackup, ShareBackupConfig};
@@ -67,23 +67,29 @@ fn main() {
     let pressures = [5u64, 15, 30, 60, 120];
     let ns = [1usize, 2, 3, 4];
 
-    let mut rows = Vec::new();
-    for &mtbf in &pressures {
-        for &n in &ns {
-            let frac = run(
-                args.k,
-                n,
-                args.trials,
-                args.seed,
-                Duration::from_secs(mtbf),
-            );
-            rows.push(minijson::json!({
+    // Each grid cell is an independent simulation (fresh controller, RNG
+    // reseeded from `--seed`), so the 5×4 grid fans out across `--jobs`
+    // threads; collecting in index order preserves the mtbf-outer /
+    // n-inner row order of the serial sweep.
+    let cells: Vec<(u64, usize)> = pressures
+        .iter()
+        .flat_map(|&mtbf| ns.iter().map(move |&n| (mtbf, n)))
+        .collect();
+    let fracs = parallel_map_indexed(args.jobs, cells.len(), |i| {
+        let (mtbf, n) = cells[i];
+        run(args.k, n, args.trials, args.seed, Duration::from_secs(mtbf))
+    });
+    let rows: Vec<minijson::Value> = cells
+        .iter()
+        .zip(&fracs)
+        .map(|(&(mtbf, n), &frac)| {
+            minijson::json!({
                 "mtbf_s": mtbf,
                 "n": n,
                 "unmasked_fraction": frac,
-            }));
-        }
-    }
+            })
+        })
+        .collect();
 
     if args.json {
         println!(

@@ -1,6 +1,6 @@
 //! Fig. 1(a)/(b): percentage of flows and coflows affected by failures.
 //!
-//! Usage: `fig1_affected [--mode node|link] [--k 16] [--trials 20] [--seed 42] [--json]`
+//! Usage: `fig1_affected [--mode node|link] [--k 16] [--trials 20] [--seed 42] [--jobs N] [--json]`
 //!
 //! Reproduces the paper's §2.2 observation: the coflow-level impact is
 //! 3.3×–90× the flow-level impact, and the coflow curve climbs steeply at
@@ -24,7 +24,7 @@ fn main() {
     };
     let setup = Fig1Setup::paper(args.k, args.seed);
     let counts = [1usize, 2, 4, 8, 16, 32];
-    let rows = impact_sweep(&setup, node_mode, &counts, args.trials);
+    let rows = impact_sweep(&setup, node_mode, &counts, args.trials, args.jobs);
 
     if args.json {
         let json: Vec<minijson::Value> = rows

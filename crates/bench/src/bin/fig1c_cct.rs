@@ -2,7 +2,7 @@
 //! failure, for fat-tree (global optimal rerouting), F10 (local
 //! rerouting), and ShareBackup (hardware replacement).
 //!
-//! Usage: `fig1c_cct [--k 16] [--trials 20] [--seed 42] [--mode node|link|both] [--json]`
+//! Usage: `fig1c_cct [--k 16] [--trials 20] [--seed 42] [--mode node|link|both] [--jobs N] [--json]`
 //!
 //! Expected shape (paper §2.2): both rerouting baselines suffer CCT
 //! slowdowns of orders of magnitude for the affected tail (a single
@@ -11,11 +11,8 @@
 //! stays at ≈1× because the failed switch is replaced within milliseconds
 //! and flows keep their original paths.
 
-use sharebackup_bench::fig1::{
-    run_f10_baseline, run_f10_failure, run_fattree_baseline, run_fattree_failure,
-    run_sharebackup_failure, slowdowns, AbstractFailure, Fig1Setup,
-};
-use sharebackup_bench::Args;
+use sharebackup_bench::fig1::{run_fig1c_trial, AbstractFailure, Fig1Setup};
+use sharebackup_bench::{parallel_map_indexed, Args};
 use sharebackup_sim::{Cdf, SimRng};
 use sharebackup_topo::{FatTree, FatTreeConfig};
 
@@ -29,44 +26,48 @@ fn main() {
     let setup = Fig1Setup::paper(args.k, args.seed).with_load(6.0);
     let ft = FatTree::build(FatTreeConfig::new(args.k).with_oversubscription(10.0));
 
+    // Failures come from a single sequential RNG stream, so they are drawn
+    // serially up front; the per-trial simulation work (which dwarfs the
+    // draws) then fans out across --jobs threads. Results are folded in
+    // trial order, keeping the output byte-identical to the serial run.
+    let mut rng = SimRng::seed_from_u64(args.seed).child("fig1c-failures");
+    let failures: Vec<AbstractFailure> = (0..args.trials)
+        .map(|trial| {
+            let node_failure = match args.mode.as_str() {
+                "node" => true,
+                "link" => false,
+                _ => trial % 2 == 0,
+            };
+            if node_failure {
+                AbstractFailure::sample_node(&mut rng, args.k)
+            } else {
+                AbstractFailure::sample_link(&mut rng, args.k)
+            }
+        })
+        .collect();
+
+    let trials = parallel_map_indexed(args.jobs, args.trials, |trial| {
+        run_fig1c_trial(&setup, &ft, trial, failures[trial])
+    });
+
     let mut sd_ft: Vec<f64> = Vec::new();
     let mut sd_f10: Vec<f64> = Vec::new();
     let mut sd_sb: Vec<f64> = Vec::new();
     let mut stranded = [0usize; 3];
 
-    let mut rng = SimRng::seed_from_u64(args.seed).child("fig1c-failures");
-    for trial in 0..args.trials {
-        let trace = setup.trace(&ft, trial);
-        let node_failure = match args.mode.as_str() {
-            "node" => true,
-            "link" => false,
-            _ => trial % 2 == 0,
-        };
-        let failure = if node_failure {
-            AbstractFailure::sample_node(&mut rng, args.k)
-        } else {
-            AbstractFailure::sample_link(&mut rng, args.k)
-        };
-
-        let base_ft = run_fattree_baseline(&setup, &trace);
-        let fail_ft = run_fattree_failure(&setup, &trace, failure);
-        let (s, st) = slowdowns(&base_ft, &fail_ft);
+    for (trial, t) in trials.into_iter().enumerate() {
+        let (s, st) = t.ft;
         sd_ft.extend(s);
         stranded[0] += st;
-
-        let base_f10 = run_f10_baseline(&setup, &trace);
-        let fail_f10 = run_f10_failure(&setup, &trace, failure);
-        let (s, st) = slowdowns(&base_f10, &fail_f10);
+        let (s, st) = t.f10;
         sd_f10.extend(s);
         stranded[1] += st;
-
-        let (fail_sb, _world) = run_sharebackup_failure(&setup, &trace, failure);
-        let (s, st) = slowdowns(&base_ft, &fail_sb);
+        let (s, st) = t.sb;
         sd_sb.extend(s);
         stranded[2] += st;
-
         eprintln!(
-            "trial {trial}: {failure:?} -> coflows ft={} f10={} sb={}",
+            "trial {trial}: {:?} -> coflows ft={} f10={} sb={}",
+            failures[trial],
             sd_ft.len(),
             sd_f10.len(),
             sd_sb.len()

@@ -1,7 +1,7 @@
 //! Longitudinal availability: a week of Poisson failures, ShareBackup vs a
 //! rerouting fat-tree, measured as capacity-hours and host-reachability.
 //!
-//! Usage: `longrun_availability [--k 8] [--n 1] [--seed 42] [--mode hostile|realistic] [--json]`
+//! Usage: `longrun_availability [--k 8] [--n 1] [--seed 42] [--mode hostile|realistic] [--jobs N] [--json]`
 //!
 //! The paper's pitch in one number: under rerouting, every failure costs
 //! its *full outage duration* in lost capacity (and an edge failure
@@ -10,7 +10,7 @@
 //! degraded while ShareBackup's availability is indistinguishable from a
 //! failure-free network.
 
-use sharebackup_bench::Args;
+use sharebackup_bench::{parallel_map_indexed, Args};
 use sharebackup_core::{Controller, ControllerConfig};
 use sharebackup_flowsim::properties::total_usable_capacity;
 use sharebackup_sim::{Duration, SimRng, Time};
@@ -183,8 +183,17 @@ fn main() {
         _ => (Duration::from_secs(12 * 3600), Duration::from_secs(300)),
     };
 
-    let ft = run_fattree(args.k, args.seed, mtbf, outage);
-    let sb = run_sharebackup(args.k, args.n, args.seed, mtbf, outage);
+    // Both systems replay the same week of failures from the same seed but
+    // never share state, so the two runs fan out across `--jobs` threads.
+    let mut runs = parallel_map_indexed(args.jobs, 2, |i| {
+        if i == 0 {
+            run_fattree(args.k, args.seed, mtbf, outage)
+        } else {
+            run_sharebackup(args.k, args.n, args.seed, mtbf, outage)
+        }
+    });
+    let sb = runs.pop().expect("two runs");
+    let ft = runs.pop().expect("two runs");
 
     if args.json {
         println!(

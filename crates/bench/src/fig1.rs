@@ -408,44 +408,91 @@ pub fn slowdowns(baseline: &CctRun, failure: &CctRun) -> (Vec<f64>, usize) {
     (out, stranded)
 }
 
+/// All three systems' slowdown samples from one Fig. 1(c)-style trial:
+/// `(slowdowns, stranded)` per system.
+#[derive(Clone, Debug)]
+pub struct Fig1cTrial {
+    /// Fat-tree with global optimal rerouting.
+    pub ft: (Vec<f64>, usize),
+    /// F10 with local rerouting.
+    pub f10: (Vec<f64>, usize),
+    /// ShareBackup under the recovery controller (slowdowns against the
+    /// fat-tree baseline, the common no-failure reference).
+    pub sb: (Vec<f64>, usize),
+}
+
+/// Run one complete Fig. 1(c) trial: the trial's trace, baseline and
+/// failure runs for fat-tree and F10, and the controller run for
+/// ShareBackup.
+///
+/// A pure function of `(setup, trial, failure)` — the trace comes from the
+/// per-trial child RNG stream — so trials fan out across threads without
+/// changing results (see DESIGN.md on the determinism contract).
+pub fn run_fig1c_trial(
+    setup: &Fig1Setup,
+    ft: &FatTree,
+    trial: usize,
+    failure: AbstractFailure,
+) -> Fig1cTrial {
+    let trace = setup.trace(ft, trial);
+    let base_ft = run_fattree_baseline(setup, &trace);
+    let fail_ft = run_fattree_failure(setup, &trace, failure);
+    let base_f10 = run_f10_baseline(setup, &trace);
+    let fail_f10 = run_f10_failure(setup, &trace, failure);
+    let (fail_sb, _world) = run_sharebackup_failure(setup, &trace, failure);
+    Fig1cTrial {
+        ft: slowdowns(&base_ft, &fail_ft),
+        f10: slowdowns(&base_f10, &fail_f10),
+        sb: slowdowns(&base_ft, &fail_sb),
+    }
+}
+
 /// Fig. 1(a)/(b) sweep: affected flow/coflow fractions at each failure
-/// count, averaged over trials.
+/// count, averaged over trials. Trials run on `jobs` threads; each trial
+/// derives its own RNG stream from `(seed, node_mode, count, trial)`, so
+/// the result is independent of `jobs` (collected and summed in trial
+/// order).
 pub fn impact_sweep(
     setup: &Fig1Setup,
     node_mode: bool,
     failure_counts: &[usize],
     trials: usize,
+    jobs: usize,
 ) -> Vec<(usize, f64, f64)> {
     let ft = FatTree::build(setup.ft_config());
     let mut results = Vec::new();
     for &count in failure_counts {
+        let fractions =
+            crate::parallel::parallel_map_indexed(jobs, trials, |trial| {
+                let trace = setup.trace(&ft, trial);
+                let paths: Vec<Vec<_>> = trace
+                    .specs
+                    .iter()
+                    .map(|s| ecmp_path(&ft, &s.key))
+                    .collect();
+                let mut net = ft.net.clone();
+                let mut rng = SimRng::seed_from_u64(setup.seed)
+                    .child(&format!("impact-{node_mode}-{count}-{trial}"));
+                for _ in 0..count {
+                    let f = if node_mode {
+                        AbstractFailure::sample_node(&mut rng, setup.k)
+                    } else {
+                        AbstractFailure::sample_link(&mut rng, setup.k)
+                    };
+                    match f.to_fattree(&ft) {
+                        TopoEvent::FailNode(n) => net.set_node_up(n, false),
+                        TopoEvent::FailLink(l) => net.set_link_up(l, false),
+                        _ => unreachable!(),
+                    }
+                }
+                let report = impact::impact(&net, &paths, &trace.coflows);
+                (report.flow_fraction(), report.coflow_fraction())
+            });
         let mut flow_sum = 0.0;
         let mut coflow_sum = 0.0;
-        for trial in 0..trials {
-            let trace = setup.trace(&ft, trial);
-            let paths: Vec<Vec<_>> = trace
-                .specs
-                .iter()
-                .map(|s| ecmp_path(&ft, &s.key))
-                .collect();
-            let mut net = ft.net.clone();
-            let mut rng = SimRng::seed_from_u64(setup.seed)
-                .child(&format!("impact-{node_mode}-{count}-{trial}"));
-            for _ in 0..count {
-                let f = if node_mode {
-                    AbstractFailure::sample_node(&mut rng, setup.k)
-                } else {
-                    AbstractFailure::sample_link(&mut rng, setup.k)
-                };
-                match f.to_fattree(&ft) {
-                    TopoEvent::FailNode(n) => net.set_node_up(n, false),
-                    TopoEvent::FailLink(l) => net.set_link_up(l, false),
-                    _ => unreachable!(),
-                }
-            }
-            let report = impact::impact(&net, &paths, &trace.coflows);
-            flow_sum += report.flow_fraction();
-            coflow_sum += report.coflow_fraction();
+        for (f, c) in fractions {
+            flow_sum += f;
+            coflow_sum += c;
         }
         results.push((
             count,
@@ -484,13 +531,23 @@ mod tests {
     fn single_node_failure_amplifies_on_coflows() {
         // A miniature Fig. 1(a): coflow fraction ≥ flow fraction always.
         let setup = Fig1Setup::paper(8, 7);
-        let rows = impact_sweep(&setup, true, &[1, 4], 3);
+        let rows = impact_sweep(&setup, true, &[1, 4], 3, 1);
         for (count, flow_frac, coflow_frac) in rows {
             assert!(
                 coflow_frac >= flow_frac,
                 "amplification must hold at count {count}: {coflow_frac} < {flow_frac}"
             );
         }
+    }
+
+    #[test]
+    fn impact_sweep_is_jobs_invariant() {
+        // The determinism contract end-to-end: running the trials on two
+        // worker threads must reproduce the serial sweep bit for bit.
+        let setup = Fig1Setup::paper(8, 7);
+        let serial = impact_sweep(&setup, false, &[1, 2], 4, 1);
+        let parallel = impact_sweep(&setup, false, &[1, 2], 4, 2);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 
 pub mod args;
 pub mod fig1;
+pub mod parallel;
 pub mod racks;
 
 pub use args::Args;
+pub use parallel::parallel_map_indexed;
 pub use racks::RackMap;

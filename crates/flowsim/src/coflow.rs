@@ -119,6 +119,7 @@ mod tests {
                 .collect(),
             finished_at: Time::from_secs(100),
             link_bits: Default::default(),
+            events: 0,
         }
     }
 

@@ -8,7 +8,10 @@
 //! fluid (flow-level) limit: every flow drains at its max-min fair share of
 //! the bottleneck capacity along its path. This crate implements:
 //!
-//! * [`maxmin`] — progressive-filling max-min fair allocation;
+//! * [`maxmin`] — progressive-filling max-min fair allocation, with the
+//!   dense reusable [`WaterFiller`] scratch state the simulator threads
+//!   through its event loop (and [`maxmin_reference`], the tree-based
+//!   original kept as perf baseline and differential oracle);
 //! * [`sim`] — the event-driven flow-progress simulation over an
 //!   [`sim::Environment`] (topology + routing policy), with *epochs* at which
 //!   the environment may mutate (failures, recoveries) and flows re-route;
@@ -21,10 +24,12 @@
 pub mod coflow;
 pub mod impact;
 pub mod maxmin;
+pub mod maxmin_reference;
 pub mod properties;
 pub mod sim;
 
 pub use coflow::{Coflow, CoflowId, CoflowOutcome};
 pub use impact::ImpactReport;
-pub use maxmin::max_min_rates;
+pub use maxmin::{max_min_rates, WaterFiller};
+pub use maxmin_reference::max_min_rates_reference;
 pub use sim::{Environment, FlowOutcome, FlowSim, FlowSpec, SimOutcome};

@@ -7,10 +7,341 @@
 //! per-flow fair queueing (or long-run TCP with equal RTTs) converges to,
 //! and the fluid limit the paper's packet-level final-state measurements
 //! correspond to.
+//!
+//! Two entry points:
+//!
+//! * [`max_min_rates`] — one-shot convenience over link-id lists;
+//! * [`WaterFiller`] — dense, index-mapped link state for callers that
+//!   solve repeatedly over an evolving flow set (the [`crate::FlowSim`]
+//!   event loop). Links are interned into dense indices once, per-link
+//!   membership counts are maintained incrementally as flows arrive, stall,
+//!   re-route, and complete, and a solve only re-seeds links that currently
+//!   carry flows — no per-event allocation and no tree lookups in the hot
+//!   rounds.
+//!
+//! The slower, allocation-heavy original lives on in
+//! [`crate::maxmin_reference`] as the perf baseline and differential
+//! oracle.
 
 use std::collections::BTreeMap;
 
 use sharebackup_topo::LinkId;
+
+/// Saturation threshold, as a fraction of link *capacity*.
+///
+/// The epsilon must scale with the capacity, not with the per-round
+/// increment: repeatedly draining a ~1e10 bits/s link leaves float residue
+/// around `count · ulp(capacity)` ≈ 1e-6, so once round increments get
+/// small an increment-scaled epsilon (the old `delta.max(1.0) * 1e-9`)
+/// misses the saturation, no flow freezes, and the defensive freeze-all
+/// branch silently pins *every* flow at the lowest bottleneck share — a
+/// non-max-min allocation that starved unrelated flows by four orders of
+/// magnitude at Gb/s scale (see `gbps_scale_asymmetric_bottlenecks`).
+const EPS_FRACTION: f64 = 1e-9;
+
+/// A flow slot in the [`WaterFiller`] registry.
+#[derive(Debug, Default)]
+struct FlowEntry {
+    /// Dense indices of the links the flow traverses.
+    links: Vec<u32>,
+    /// Contributing demand right now (alive and not stalled).
+    running: bool,
+    /// Slot occupied; `false` once removed (the slot is then recycled).
+    alive: bool,
+}
+
+/// Dense, reusable scratch state for repeated max-min solves over an
+/// evolving flow set.
+///
+/// Intern links with [`WaterFiller::link_index`], register flows with
+/// [`WaterFiller::add_flow`], then call [`WaterFiller::solve`] and read
+/// rates back with [`WaterFiller::rate`]. Between solves, mutate the flow
+/// set incrementally ([`WaterFiller::set_links`],
+/// [`WaterFiller::set_stalled`], [`WaterFiller::remove_flow`]); per-link
+/// flow counts are maintained as deltas, so a solve touches only the links
+/// that carry at least one running flow and allocates nothing.
+#[derive(Debug, Default)]
+pub struct WaterFiller {
+    /// `LinkId` → dense index; persistent across solves.
+    index_of: BTreeMap<LinkId, u32>,
+    /// Dense index → `LinkId` (inverse of `index_of`).
+    link_of: Vec<LinkId>,
+    /// Dense index → capacity in bits/s (refreshed on `link_index`).
+    capacity: Vec<f64>,
+    /// Dense index → running flows crossing the link (kept incrementally).
+    count: Vec<u32>,
+    /// Dense index → member of `used` right now.
+    in_used: Vec<bool>,
+    /// Links with at least one running flow; compacted lazily in `solve`.
+    used: Vec<u32>,
+    /// Scratch: remaining headroom per link during a solve.
+    headroom: Vec<f64>,
+    /// Scratch: unfrozen-flow count per link during a solve.
+    live: Vec<u32>,
+    /// Scratch: saturation flag per link during a solve.
+    saturated: Vec<bool>,
+    /// Flow registry, indexed by the ids `add_flow` hands out.
+    flows: Vec<FlowEntry>,
+    /// Recycled flow ids.
+    free: Vec<usize>,
+    /// Scratch: ids of still-unfrozen flows during a solve.
+    active: Vec<usize>,
+    /// Rates per flow id, written by `solve`.
+    rate: Vec<f64>,
+}
+
+impl WaterFiller {
+    /// An empty filler.
+    pub fn new() -> WaterFiller {
+        WaterFiller::default()
+    }
+
+    /// Intern `link`, returning its dense index. The capacity is recorded,
+    /// and refreshed on every call — callers re-intern a link whenever the
+    /// environment may have changed it.
+    pub fn link_index(&mut self, link: LinkId, capacity_bps: f64) -> u32 {
+        if let Some(&i) = self.index_of.get(&link) {
+            self.capacity[i as usize] = capacity_bps;
+            return i;
+        }
+        // Bounded by the number of distinct links ever interned.
+        #[allow(clippy::cast_possible_truncation)]
+        let i = self.link_of.len() as u32;
+        self.index_of.insert(link, i);
+        self.link_of.push(link);
+        self.capacity.push(capacity_bps);
+        self.count.push(0);
+        self.in_used.push(false);
+        self.headroom.push(0.0);
+        self.live.push(0);
+        self.saturated.push(false);
+        i
+    }
+
+    /// The `LinkId` behind a dense index.
+    pub fn link_id(&self, index: usize) -> LinkId {
+        self.link_of[index]
+    }
+
+    /// Number of distinct links interned so far.
+    pub fn link_count(&self) -> usize {
+        self.link_of.len()
+    }
+
+    /// Register a running flow crossing `links` (dense indices from
+    /// [`WaterFiller::link_index`]); returns its flow id. Ids of removed
+    /// flows are recycled.
+    pub fn add_flow(&mut self, links: Vec<u32>) -> usize {
+        let fid = match self.free.pop() {
+            Some(fid) => fid,
+            None => {
+                self.flows.push(FlowEntry::default());
+                self.rate.push(0.0);
+                self.flows.len() - 1
+            }
+        };
+        self.flows[fid] = FlowEntry {
+            links,
+            running: true,
+            alive: true,
+        };
+        self.gain_all(fid);
+        fid
+    }
+
+    /// Deregister a completed flow; its id may be recycled.
+    pub fn remove_flow(&mut self, fid: usize) {
+        if self.flows[fid].running {
+            self.drop_all(fid);
+        }
+        self.flows[fid] = FlowEntry::default();
+        self.rate[fid] = 0.0;
+        self.free.push(fid);
+    }
+
+    /// Mark a flow stalled (no route: zero rate, consumes nothing) or
+    /// running again. The flow's link list is preserved across the stall.
+    pub fn set_stalled(&mut self, fid: usize, stalled: bool) {
+        let want_running = !stalled;
+        if self.flows[fid].running == want_running {
+            return;
+        }
+        if want_running {
+            self.flows[fid].running = true;
+            self.gain_all(fid);
+        } else {
+            self.drop_all(fid);
+            self.flows[fid].running = false;
+        }
+    }
+
+    /// Replace a flow's path. Counts adjust incrementally; only links
+    /// entering or leaving the flow's set see their tallies move.
+    pub fn set_links(&mut self, fid: usize, links: Vec<u32>) {
+        if self.flows[fid].running {
+            self.drop_all(fid);
+            self.flows[fid].links = links;
+            self.gain_all(fid);
+        } else {
+            self.flows[fid].links = links;
+        }
+    }
+
+    /// The dense link indices of a flow.
+    pub fn links(&self, fid: usize) -> &[u32] {
+        &self.flows[fid].links
+    }
+
+    /// The rate computed by the last [`WaterFiller::solve`], in bits/s.
+    /// Stalled flows get `0.0`; running flows crossing no links get
+    /// `f64::INFINITY` (they consume nothing).
+    pub fn rate(&self, fid: usize) -> f64 {
+        self.rate[fid]
+    }
+
+    /// Bump the membership count of every link of flow `fid`.
+    fn gain_all(&mut self, fid: usize) {
+        let Self {
+            flows,
+            count,
+            in_used,
+            used,
+            ..
+        } = self;
+        for &li in &flows[fid].links {
+            let l = li as usize;
+            count[l] += 1;
+            if !in_used[l] {
+                in_used[l] = true;
+                used.push(li);
+            }
+        }
+    }
+
+    /// Drop the membership count of every link of flow `fid`. Links that
+    /// reach zero stay in `used` until the next solve compacts them.
+    fn drop_all(&mut self, fid: usize) {
+        let Self { flows, count, .. } = self;
+        for &li in &flows[fid].links {
+            count[li as usize] -= 1;
+        }
+    }
+
+    /// Compute max-min fair rates for the current flow set into the
+    /// per-flow [`WaterFiller::rate`] slots.
+    ///
+    /// Allocation-free: all per-link and per-flow state is reused scratch,
+    /// and the re-seed touches only links carrying at least one running
+    /// flow (membership counts are already up to date from the incremental
+    /// bookkeeping, so nothing is rebuilt).
+    pub fn solve(&mut self) {
+        let Self {
+            capacity,
+            count,
+            in_used,
+            used,
+            headroom,
+            live,
+            saturated,
+            flows,
+            active,
+            rate,
+            ..
+        } = self;
+
+        // Re-seed links that still carry flows; compact out the rest.
+        used.retain(|&li| {
+            let l = li as usize;
+            if count[l] == 0 {
+                in_used[l] = false;
+                return false;
+            }
+            headroom[l] = capacity[l];
+            live[l] = count[l];
+            saturated[l] = false;
+            true
+        });
+
+        active.clear();
+        for (fid, fe) in flows.iter().enumerate() {
+            if !fe.alive {
+                continue;
+            }
+            rate[fid] = if !fe.running {
+                0.0
+            } else if fe.links.is_empty() {
+                f64::INFINITY
+            } else {
+                active.push(fid);
+                0.0
+            };
+        }
+
+        while !active.is_empty() {
+            // Smallest equal increment any unfrozen flow can absorb.
+            let mut delta = f64::INFINITY;
+            for &li in used.iter() {
+                let l = li as usize;
+                if live[l] > 0 {
+                    let share = headroom[l] / f64::from(live[l]);
+                    if share < delta {
+                        delta = share;
+                    }
+                }
+            }
+            if !delta.is_finite() {
+                break; // defensive: no constraining links left
+            }
+
+            // Raise every unfrozen flow by delta and drain its links.
+            for &fid in active.iter() {
+                rate[fid] += delta;
+                for &li in &flows[fid].links {
+                    headroom[li as usize] -= delta;
+                }
+            }
+
+            // Mark saturated links. Capacity-relative epsilon: the link
+            // that set `delta` always lands within float residue of zero
+            // headroom, which is far below EPS_FRACTION · capacity, so at
+            // least one link registers every round.
+            let mut frozen_any = false;
+            for &li in used.iter() {
+                let l = li as usize;
+                if live[l] > 0 && headroom[l] <= EPS_FRACTION * capacity[l] {
+                    saturated[l] = true;
+                    frozen_any = true;
+                }
+            }
+
+            if frozen_any {
+                // Freeze flows crossing a saturated link, in place.
+                let mut keep = 0;
+                for r in 0..active.len() {
+                    let fid = active[r];
+                    if flows[fid]
+                        .links
+                        .iter()
+                        .any(|&li| saturated[li as usize])
+                    {
+                        for &li in &flows[fid].links {
+                            live[li as usize] -= 1;
+                        }
+                    } else {
+                        active[keep] = fid;
+                        keep += 1;
+                    }
+                }
+                active.truncate(keep);
+            } else {
+                // Numerical safety net: freeze everything rather than spin.
+                // Unreachable with the capacity-relative epsilon (see
+                // above); kept as a hard termination guarantee.
+                active.clear();
+            }
+        }
+    }
+}
 
 /// Compute max-min fair rates.
 ///
@@ -19,101 +350,29 @@ use sharebackup_topo::LinkId;
 ///   consumes nothing).
 /// * `capacity(l)` — capacity of link `l` in bits/s.
 ///
-/// Returns one rate per flow, in bits/s.
+/// Returns one rate per flow, in bits/s. One-shot convenience over
+/// [`WaterFiller`]; repeated callers should hold a `WaterFiller` and reuse
+/// its scratch state instead.
 pub fn max_min_rates(
     flow_links: &[Vec<LinkId>],
     mut capacity: impl FnMut(LinkId) -> f64,
 ) -> Vec<f64> {
-    let n = flow_links.len();
-    let mut rate = vec![0.0_f64; n];
-    let mut active: Vec<bool> = flow_links.iter().map(|ls| !ls.is_empty()).collect();
-    for (i, ls) in flow_links.iter().enumerate() {
-        if ls.is_empty() {
-            rate[i] = f64::INFINITY;
-        }
-    }
-
-    // Per-link state: remaining headroom and active-flow count.
-    let mut headroom: BTreeMap<LinkId, f64> = BTreeMap::new();
-    let mut count: BTreeMap<LinkId, u32> = BTreeMap::new();
-    for (i, links) in flow_links.iter().enumerate() {
-        if !active[i] {
-            continue;
-        }
-        for &l in links {
-            headroom.entry(l).or_insert_with(|| capacity(l));
-            *count.entry(l).or_insert(0) += 1;
-        }
-    }
-
-    let mut remaining: usize = active.iter().filter(|&&a| a).count();
-    while remaining > 0 {
-        // Smallest equal increment any active flow can absorb.
-        let mut delta = f64::INFINITY;
-        for (l, &c) in &count {
-            if c > 0 {
-                let share = headroom[l] / c as f64;
-                if share < delta {
-                    delta = share;
-                }
-            }
-        }
-        if !delta.is_finite() {
-            break; // defensive: no constraining links left
-        }
-        // Raise every active flow by delta and drain the links.
-        for (i, links) in flow_links.iter().enumerate() {
-            if !active[i] {
-                continue;
-            }
-            rate[i] += delta;
-            for &l in links {
-                // Every link of an active flow was seeded in the setup loop.
-                if let Some(h) = headroom.get_mut(&l) {
-                    *h -= delta;
-                }
-            }
-        }
-        // Freeze flows on saturated links.
-        const EPS_FRACTION: f64 = 1e-9;
-        let saturated: Vec<LinkId> = headroom
-            .iter()
-            .filter(|(l, &h)| count[l] > 0 && h <= EPS_FRACTION * delta.max(1.0))
-            .map(|(&l, _)| l)
-            .collect();
-        let mut frozen_any = false;
-        for (i, links) in flow_links.iter().enumerate() {
-            if !active[i] {
-                continue;
-            }
-            if links.iter().any(|l| saturated.contains(l)) {
-                active[i] = false;
-                frozen_any = true;
-                remaining -= 1;
-                for &l in links {
-                    if let Some(c) = count.get_mut(&l) {
-                        *c -= 1;
-                    }
-                }
-            }
-        }
-        if !frozen_any {
-            // Numerical safety: freeze everything at current rates rather
-            // than loop forever.
-            for (i, links) in flow_links.iter().enumerate() {
-                if active[i] {
-                    active[i] = false;
-                    remaining -= 1;
-                    for &l in links {
-                        if let Some(c) = count.get_mut(&l) {
-                            *c -= 1;
-                        }
-                    }
-                }
-            }
-        }
-    }
-    rate
+    let mut wf = WaterFiller::new();
+    let fids: Vec<usize> = flow_links
+        .iter()
+        .map(|links| {
+            let dense: Vec<u32> = links
+                .iter()
+                .map(|&l| {
+                    let cap = capacity(l);
+                    wf.link_index(l, cap)
+                })
+                .collect();
+            wf.add_flow(dense)
+        })
+        .collect();
+    wf.solve();
+    fids.into_iter().map(|fid| wf.rate(fid)).collect()
 }
 
 #[cfg(test)]
@@ -219,5 +478,97 @@ mod tests {
         assert!((rates[1] - 1.0).abs() < 1e-9);
         assert!((rates[2] - 1.0).abs() < 1e-9);
         assert!((rates[3] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gbps_scale_asymmetric_bottlenecks() {
+        // Regression for the increment-scaled saturation epsilon. 6400
+        // flows share a ~10 Gb/s link; one solo flow owns a 40 Gb/s link.
+        // Draining the shared link leaves float residue around
+        // count · ulp(1e10) ≈ 1e-2 — far above the old epsilon of
+        // 1e-9 · delta — so no link registered saturated, the freeze-all
+        // safety net fired, and the solo flow was pinned at the shared
+        // flows' ~1.56 Mb/s share: 25,000× below its true allocation. The
+        // capacity-relative epsilon (~10 bits/s here) sees the saturation.
+        let shared = 6400usize;
+        let cap0 = 10_000_000_003.25_f64;
+        let flows: Vec<Vec<LinkId>> = (0..shared)
+            .map(|_| vec![l(0)])
+            .chain([vec![l(1)]])
+            .collect();
+        let rates = max_min_rates(&flows, |link| if link.0 == 0 { cap0 } else { 4e10 });
+        let fair = cap0 / shared as f64;
+        for r in &rates[..shared] {
+            assert!(
+                (r / fair - 1.0).abs() < 1e-6,
+                "shared-link flow got {r}, want ~{fair}"
+            );
+        }
+        assert!(
+            (rates[shared] / 4e10 - 1.0).abs() < 1e-6,
+            "solo flow got {}, want ~4e10",
+            rates[shared]
+        );
+        // Feasibility at scale: the shared link is not oversubscribed.
+        let usage: f64 = rates[..shared].iter().sum();
+        assert!(usage <= cap0 * (1.0 + 1e-9), "shared link over capacity");
+    }
+
+    #[test]
+    fn scratch_reuse_tracks_incremental_changes() {
+        // Exercise the WaterFiller lifecycle the simulator relies on:
+        // add/solve, stall, re-route, remove, id recycling.
+        let mut wf = WaterFiller::new();
+        let a = wf.link_index(l(0), 10.0);
+        let b = wf.link_index(l(1), 4.0);
+        let f0 = wf.add_flow(vec![a, b]);
+        let f1 = wf.add_flow(vec![a]);
+        wf.solve();
+        // Link 1 (cap 4, 1 flow) vs link 0 (cap 10, 2 flows): f0 takes 4,
+        // f1 the remaining 6.
+        assert!((wf.rate(f0) - 4.0).abs() < 1e-9);
+        assert!((wf.rate(f1) - 6.0).abs() < 1e-9);
+
+        // Stall f0: f1 gets the whole of link 0.
+        wf.set_stalled(f0, true);
+        wf.solve();
+        assert_eq!(wf.rate(f0), 0.0);
+        assert!((wf.rate(f1) - 10.0).abs() < 1e-9);
+
+        // Resume f0 on a new path avoiding link 1.
+        wf.set_stalled(f0, false);
+        wf.set_links(f0, vec![a]);
+        wf.solve();
+        assert!((wf.rate(f0) - 5.0).abs() < 1e-9);
+        assert!((wf.rate(f1) - 5.0).abs() < 1e-9);
+
+        // Remove f1; its id is recycled for the next arrival.
+        wf.remove_flow(f1);
+        let f2 = wf.add_flow(vec![b]);
+        assert_eq!(f2, f1);
+        wf.solve();
+        assert!((wf.rate(f0) - 10.0).abs() < 1e-9);
+        assert!((wf.rate(f2) - 4.0).abs() < 1e-9);
+
+        // Capacity refresh on re-intern.
+        assert_eq!(wf.link_index(l(1), 8.0), b);
+        wf.solve();
+        assert!((wf.rate(f2) - 8.0).abs() < 1e-9);
+        assert_eq!(wf.link_count(), 2);
+        assert_eq!(wf.link_id(a as usize), l(0));
+    }
+
+    #[test]
+    fn stalled_flow_with_no_links_stays_at_zero() {
+        // A flow that arrived unroutable: no links, stalled. It must not
+        // report the INFINITY of an empty-path *running* flow.
+        let mut wf = WaterFiller::new();
+        let f = wf.add_flow(Vec::new());
+        wf.set_stalled(f, true);
+        wf.solve();
+        assert_eq!(wf.rate(f), 0.0);
+        wf.set_stalled(f, false);
+        wf.solve();
+        assert!(wf.rate(f).is_infinite());
     }
 }

@@ -16,7 +16,7 @@ use sharebackup_routing::FlowKey;
 use sharebackup_sim::{Duration, Time};
 use sharebackup_topo::{LinkId, NodeId};
 
-use crate::maxmin::max_min_rates;
+use crate::maxmin::WaterFiller;
 
 /// One flow to simulate.
 #[derive(Clone, Debug)]
@@ -73,7 +73,11 @@ pub struct SimOutcome {
     /// Instant at which the simulation stopped.
     pub finished_at: Time,
     /// Bits carried per link over the whole run (for utilization reports).
+    /// Only links that actually carried traffic appear.
     pub link_bits: BTreeMap<LinkId, f64>,
+    /// Event-loop steps executed (rate recomputations); a throughput
+    /// denominator for benchmarking, not a semantic output.
+    pub events: u64,
 }
 
 impl SimOutcome {
@@ -111,8 +115,9 @@ struct LiveFlow {
     index: usize,
     key: FlowKey,
     remaining: f64, // bits
-    links: Vec<LinkId>,
-    stalled: bool,
+    /// Slot in the [`WaterFiller`] registry holding this flow's link list,
+    /// stall state, and current rate.
+    fid: usize,
 }
 
 /// The flow-level simulator.
@@ -128,14 +133,24 @@ impl Default for FlowSim {
     }
 }
 
-fn links_of_path(env: &impl Environment, path: &[NodeId]) -> Vec<LinkId> {
+/// Intern every link of `path` into `wf`, returning dense link indices.
+/// Capacities are refreshed as a side effect, so a post-epoch re-route
+/// also picks up capacity changes.
+fn dense_links_of_path(
+    env: &impl Environment,
+    wf: &mut WaterFiller,
+    path: &[NodeId],
+) -> Vec<u32> {
     path.windows(2)
         .map(|w| {
-            env.link_between(w[0], w[1])
+            let l = env
+                .link_between(w[0], w[1])
                 // A non-adjacent hop is a routing bug that must surface
                 // loudly, not a recoverable condition.
                 // lint:allow(unwrap) — Environment contract violation
-                .expect("route returned a non-adjacent hop")
+                .expect("route returned a non-adjacent hop");
+            let cap = env.capacity(l);
+            wf.link_index(l, cap)
         })
         .collect()
 }
@@ -180,31 +195,35 @@ impl FlowSim {
         let mut next_epoch = 0usize;
         let mut live: Vec<LiveFlow> = Vec::new();
         let mut now = Time::ZERO;
-        let mut link_bits: BTreeMap<LinkId, f64> = BTreeMap::new();
+        // Dense, reused allocator state: link interning, per-link flow
+        // counts, and rate scratch all persist across events.
+        let mut wf = WaterFiller::new();
+        // Bits carried per dense link index; folded into a BTreeMap at the
+        // end (zero entries are dropped — a link that never carried traffic
+        // does not appear in the output).
+        let mut bits: Vec<f64> = Vec::new();
+        let mut events: u64 = 0;
 
         loop {
             // Max-min rates for the current live set (stalled flows get 0).
-            let link_lists: Vec<Vec<LinkId>> = live
-                .iter()
-                .map(|f| if f.stalled { Vec::new() } else { f.links.clone() })
-                .collect();
-            let raw = max_min_rates(&link_lists, |l| env.capacity(l));
-            let rates: Vec<f64> = live
-                .iter()
-                .zip(&raw)
-                .map(|(f, &r)| if f.stalled { 0.0 } else { r })
-                .collect();
+            wf.solve();
+            if bits.len() < wf.link_count() {
+                bits.resize(wf.link_count(), 0.0);
+            }
 
             // Candidate next-event instants. Completion deltas are clamped
             // to ≥ 1 ns: float residue in `remaining` must never produce a
             // zero-delta event, which would stall virtual time forever.
             let completion: Option<Time> = live
                 .iter()
-                .zip(&rates)
-                .filter(|(_, &r)| r > 0.0)
-                .map(|(f, &r)| {
-                    let dt = Duration::from_secs_f64(f.remaining / r);
-                    now + dt.max(Duration::from_nanos(1))
+                .filter_map(|f| {
+                    let r = wf.rate(f.fid);
+                    if r > 0.0 {
+                        let dt = Duration::from_secs_f64(f.remaining / r);
+                        Some(now + dt.max(Duration::from_nanos(1)))
+                    } else {
+                        None
+                    }
                 })
                 .min();
             let arrival = order.get(next_arrival).map(|&i| flows[i].arrival);
@@ -218,12 +237,17 @@ impl FlowSim {
                 break; // nothing will ever happen again
             };
             if next_t > self.horizon {
-                // Drain until the horizon, then stop.
+                // Drain until the horizon, then stop. Same r > 0 guard as
+                // the main advance: a zero-rate (stalled or starved) flow
+                // carries nothing and must not mint zero-byte link entries.
                 let dt = self.horizon.saturating_since(now).as_secs_f64();
-                for (f, &r) in live.iter_mut().zip(&rates) {
+                for f in live.iter_mut() {
+                    let r = wf.rate(f.fid);
                     f.remaining = (f.remaining - r * dt).max(0.0);
-                    for &l in &f.links {
-                        *link_bits.entry(l).or_insert(0.0) += r * dt;
+                    if r > 0.0 {
+                        for &li in wf.links(f.fid) {
+                            bits[li as usize] += r * dt;
+                        }
                     }
                 }
                 now = self.horizon;
@@ -235,24 +259,27 @@ impl FlowSim {
             // a sub-nanosecond-of-traffic residue alive only breeds
             // zero-progress events.
             let dt = next_t.since(now).as_secs_f64();
-            for (f, &r) in live.iter_mut().zip(&rates) {
+            for f in live.iter_mut() {
+                let r = wf.rate(f.fid);
                 f.remaining -= r * dt;
                 if f.remaining < 1e-3 {
                     f.remaining = 0.0;
                 }
                 if r > 0.0 {
-                    for &l in &f.links {
-                        *link_bits.entry(l).or_insert(0.0) += r * dt;
+                    for &li in wf.links(f.fid) {
+                        bits[li as usize] += r * dt;
                     }
                 }
             }
             now = next_t;
+            events += 1;
 
             // 1. Completions.
             let mut j = 0;
             while j < live.len() {
                 if live[j].remaining == 0.0 {
                     let f = live.swap_remove(j);
+                    wf.remove_flow(f.fid);
                     outcome[f.index].completed = Some(now);
                     outcome[f.index].delivered = flows[f.index].bytes;
                 } else {
@@ -271,21 +298,25 @@ impl FlowSim {
             if epoch_fired {
                 let keys: Vec<FlowKey> = live.iter().map(|f| f.key).collect();
                 let routes = env.route_all(&keys);
-                for (f, route) in live.iter_mut().zip(routes) {
+                for (f, route) in live.iter().zip(routes) {
                     match route {
                         Some(path) => {
-                            let links = links_of_path(env, &path);
+                            let links = dense_links_of_path(env, &mut wf, &path);
                             // "Rerouted" = the path changed after the flow
                             // had one. Resuming a stalled flow on the same
                             // path (ShareBackup) is not a reroute.
-                            if !f.links.is_empty() && links != f.links {
+                            let prev = wf.links(f.fid);
+                            if !prev.is_empty() && prev != links.as_slice() {
                                 outcome[f.index].rerouted = true;
                             }
-                            f.links = links;
-                            f.stalled = false;
+                            wf.set_links(f.fid, links);
+                            wf.set_stalled(f.fid, false);
                         }
                         None => {
-                            f.stalled = true;
+                            // A stalled flow keeps its link list, so
+                            // resuming on the same path later is not a
+                            // reroute.
+                            wf.set_stalled(f.fid, true);
                             outcome[f.index].ever_stalled = true;
                         }
                     }
@@ -297,55 +328,55 @@ impl FlowSim {
                 let idx = order[next_arrival];
                 next_arrival += 1;
                 let key = flows[idx].key;
-                let bits = flows[idx].bytes as f64 * 8.0;
-                if bits == 0.0 {
+                let flow_bits = flows[idx].bytes as f64 * 8.0;
+                if flow_bits == 0.0 {
                     outcome[idx].completed = Some(now);
                     continue;
                 }
-                match env.route(&key) {
+                let fid = match env.route(&key) {
                     Some(path) => {
-                        let links = links_of_path(env, &path);
-                        live.push(LiveFlow {
-                            index: idx,
-                            key,
-                            remaining: bits,
-                            links,
-                            stalled: false,
-                        });
+                        let links = dense_links_of_path(env, &mut wf, &path);
+                        wf.add_flow(links)
                     }
                     None => {
                         outcome[idx].ever_stalled = true;
-                        live.push(LiveFlow {
-                            index: idx,
-                            key,
-                            remaining: bits,
-                            links: Vec::new(),
-                            stalled: true,
-                        });
+                        let fid = wf.add_flow(Vec::new());
+                        wf.set_stalled(fid, true);
+                        fid
                     }
-                }
+                };
+                live.push(LiveFlow {
+                    index: idx,
+                    key,
+                    remaining: flow_bits,
+                    fid,
+                });
             }
         }
 
         // Delivered bytes for unfinished flows.
-        let remaining_by_index: BTreeMap<usize, f64> =
-            live.iter().map(|f| (f.index, f.remaining)).collect();
-        for (i, out) in outcome.iter_mut().enumerate() {
+        for f in &live {
+            let out = &mut outcome[f.index];
             if out.completed.is_none() {
-                if let Some(&rem) = remaining_by_index.get(&i) {
-                    let sent_bits = flows[i].bytes as f64 * 8.0 - rem;
-                    // Bounded by flows[i].bytes, and float->int `as` saturates.
-                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-                    {
-                        out.delivered = (sent_bits / 8.0).floor().max(0.0) as u64;
-                    }
+                let sent_bits = flows[f.index].bytes as f64 * 8.0 - f.remaining;
+                // Bounded by flows[i].bytes, and float->int `as` saturates.
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                {
+                    out.delivered = (sent_bits / 8.0).floor().max(0.0) as u64;
                 }
+            }
+        }
+        let mut link_bits: BTreeMap<LinkId, f64> = BTreeMap::new();
+        for (i, &b) in bits.iter().enumerate() {
+            if b > 0.0 {
+                link_bits.insert(wf.link_id(i), b);
             }
         }
         SimOutcome {
             flows: outcome,
             finished_at: now,
             link_bits,
+            events,
         }
     }
 }
@@ -530,6 +561,54 @@ mod tests {
         let hottest = out.hottest_links(1);
         assert_eq!(hottest.len(), 1);
         assert!((hottest[0].1 - 80.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_rate_flow_mints_no_link_entries_at_horizon() {
+        // Flow 0 runs h0—s—h1 at 1 B/s; flow 1 is routed over a
+        // zero-capacity link (h2—s) and drains at rate 0. The horizon
+        // drain must apply the same r > 0 guard as the main advance: the
+        // dead flow's links must not appear in link_bits as zero-byte
+        // entries.
+        use sharebackup_topo::NodeKind;
+        let mut net = sharebackup_topo::Network::new();
+        let h0 = net.add_node(NodeKind::Host, None, 0);
+        let h1 = net.add_node(NodeKind::Host, None, 1);
+        let h2 = net.add_node(NodeKind::Host, None, 2);
+        let s = net.add_node(NodeKind::Edge, None, 0);
+        let l0 = net.add_link(h0, s, 8.0);
+        let l1 = net.add_link(s, h1, 8.0);
+        let dead = net.add_link(h2, s, 0.0);
+        let mut env = LineEnv {
+            net,
+            paths: BTreeMap::new(),
+            epoch_log: Vec::new(),
+            after_epoch: BTreeMap::new(),
+        };
+        env.paths.insert(0, Some(vec![h0, s, h1]));
+        env.paths.insert(1, Some(vec![h2, s, h1]));
+        let flows = vec![
+            spec(h0, h1, 0, 10, Time::ZERO),
+            spec(h2, h1, 1, 10, Time::ZERO),
+        ];
+        let out = FlowSim::with_horizon(Time::from_secs(5)).run(&mut env, &flows, &[]);
+        // Flow 1's private link carried nothing and must be absent.
+        assert!(!out.link_bits.contains_key(&dead), "{:?}", out.link_bits);
+        assert_eq!(out.flows[1].delivered, 0);
+        // Flow 0 drained to the horizon: 5 s at 8 bps on both its links.
+        assert!((out.link_bits[&l0] - 40.0).abs() < 1e-6);
+        assert!((out.link_bits[&l1] - 40.0).abs() < 1e-6);
+        assert_eq!(out.flows[0].delivered, 5);
+    }
+
+    #[test]
+    fn event_counter_tracks_loop_steps() {
+        let (mut env, n) = line_env();
+        env.paths.insert(0, Some(vec![n[0], n[2], n[1]]));
+        let flows = vec![spec(n[0], n[1], 0, 10, Time::ZERO)];
+        let out = FlowSim::new().run(&mut env, &flows, &[]);
+        // One arrival step, one completion step.
+        assert_eq!(out.events, 2);
     }
 
     #[test]

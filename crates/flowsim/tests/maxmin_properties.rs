@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
-use sharebackup_flowsim::max_min_rates;
+use sharebackup_flowsim::{max_min_rates, max_min_rates_reference};
 use sharebackup_topo::LinkId;
 
 /// Random instance: up to 40 flows over up to 12 links, 1-4 links each.
@@ -22,6 +22,49 @@ fn instances() -> impl Strategy<Value = (Vec<Vec<LinkId>>, Vec<f64>)> {
             .collect();
         (flows, caps)
     })
+}
+
+/// The same instances at either unit or Gb/s capacity scale. The 1e10
+/// scale is where float residue dwarfs any fixed epsilon — an
+/// increment-scaled saturation test passes the unit-scale suite and
+/// silently corrupts allocations here.
+fn scaled_instances() -> impl Strategy<Value = (Vec<Vec<LinkId>>, Vec<f64>)> {
+    (instances(), prop::sample::select(vec![1.0f64, 1e10])).prop_map(
+        |((flows, caps), scale)| {
+            (flows, caps.into_iter().map(|c| c * scale).collect())
+        },
+    )
+}
+
+/// Check the two max-min witnesses: feasibility (no link oversubscribed
+/// beyond epsilon) and optimality (every flow crosses a saturated link,
+/// otherwise its rate could be raised).
+fn assert_genuinely_max_min(
+    flows: &[Vec<LinkId>],
+    caps: &[f64],
+    rates: &[f64],
+) -> Result<(), String> {
+    let mut usage: BTreeMap<LinkId, f64> = BTreeMap::new();
+    for (i, links) in flows.iter().enumerate() {
+        prop_assert!(rates[i] >= 0.0, "flow {i} has negative rate {}", rates[i]);
+        for &l in links {
+            *usage.entry(l).or_insert(0.0) += rates[i];
+        }
+    }
+    for (&l, &u) in &usage {
+        prop_assert!(
+            u <= caps[l.0 as usize] * (1.0 + 1e-6),
+            "link {l:?} over capacity: {u} > {}",
+            caps[l.0 as usize]
+        );
+    }
+    for (i, links) in flows.iter().enumerate() {
+        let blocked = links
+            .iter()
+            .any(|&l| usage[&l] >= caps[l.0 as usize] * (1.0 - 1e-6));
+        prop_assert!(blocked, "flow {i} (rate {}) unbottlenecked", rates[i]);
+    }
+    Ok(())
 }
 
 proptest! {
@@ -109,6 +152,34 @@ proptest! {
     }
 
     #[test]
+    fn allocation_is_genuinely_max_min_at_both_scales(
+        (flows, caps) in scaled_instances()
+    ) {
+        // The full max-min certificate — feasibility plus a saturated
+        // bottleneck for every flow — must hold identically at unit and
+        // Gb/s capacity scales.
+        let rates = max_min_rates(&flows, |l| caps[l.0 as usize]);
+        assert_genuinely_max_min(&flows, &caps, &rates)?;
+    }
+
+    #[test]
+    fn dense_and_reference_solvers_agree(
+        (flows, caps) in scaled_instances()
+    ) {
+        // Differential oracle: the dense WaterFiller and the tree-based
+        // reference are independent implementations of the same
+        // construction and must produce the same allocation.
+        let dense = max_min_rates(&flows, |l| caps[l.0 as usize]);
+        let reference = max_min_rates_reference(&flows, |l| caps[l.0 as usize]);
+        for (i, (a, b)) in dense.iter().zip(&reference).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+                "flow {i}: dense {a} vs reference {b}"
+            );
+        }
+    }
+
+    #[test]
     fn removal_is_leximin_improving((flows, caps) in instances()) {
         // Pointwise monotonicity is FALSE for max-min (removing a flow can
         // cascade and shrink a third flow) — proptest found the
@@ -136,5 +207,38 @@ proptest! {
                 return Ok(()); // strictly better at first difference: done
             }
         }
+    }
+}
+
+proptest! {
+    // Fewer cases: thousands of flows per instance.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn heavily_shared_gbps_link_stays_max_min(
+        shared in 2048usize..6000,
+        cap_frac in 0u32..8192,
+        solo_cap in 2e10f64..8e10,
+    ) {
+        // The regime that broke the increment-scaled epsilon: thousands of
+        // flows draining one ~10 Gb/s link leave float residue of order
+        // count · ulp(capacity) ≈ 1e-2, far above 1e-9 · delta once delta
+        // is a per-flow share. A missed saturation fires the freeze-all
+        // fallback and pins the solo flow on the other link at the shared
+        // flows' tiny rate. The max-min certificate must hold regardless.
+        let cap0 = 1e10 + f64::from(cap_frac) / 4.0;
+        let flows: Vec<Vec<LinkId>> = (0..shared)
+            .map(|_| vec![LinkId(0)])
+            .chain([vec![LinkId(1)]])
+            .collect();
+        let caps = [cap0, solo_cap];
+        let rates = max_min_rates(&flows, |l| caps[l.0 as usize]);
+        assert_genuinely_max_min(&flows, &caps, &rates)?;
+        // In particular the solo flow actually fills its own link.
+        prop_assert!(
+            (rates[shared] / solo_cap - 1.0).abs() < 1e-6,
+            "solo flow got {}, want ~{solo_cap}",
+            rates[shared]
+        );
     }
 }

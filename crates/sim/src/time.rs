@@ -8,12 +8,25 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-/// Round a float nanosecond count to a whole one. Rust's float→int `as`
-/// saturates (negative → 0, overflow → `u64::MAX`), so this is the one
-/// audited place where fractional time becomes ticks.
-#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+/// Round a float nanosecond count to a whole one — the single audited place
+/// where fractional time becomes ticks.
+///
+/// # Panics
+/// Panics on NaN, infinite, or negative input. Those arise from pathological
+/// rate arithmetic (e.g. `remaining / rate` with a corrupted rate) and used
+/// to saturate silently — NaN and negatives to `Time(0)` — tripping the
+/// engine's scheduled-in-the-past panic far from the root cause.
 fn ns_from_f64(ns: f64) -> u64 {
-    ns.round() as u64
+    assert!(
+        ns.is_finite() && ns >= 0.0,
+        "time conversion needs a finite, non-negative nanosecond count, got {ns}"
+    );
+    // Validated finite and non-negative above; a count beyond u64::MAX
+    // (~584 years) saturates to the maximal horizon under `as` semantics.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        ns.round() as u64
+    }
 }
 
 /// An instant on the simulation clock, in nanoseconds since simulation start.
@@ -47,8 +60,10 @@ impl Time {
         Time(s * 1_000_000_000)
     }
     /// Construct from fractional seconds (rounds to nearest nanosecond).
+    ///
+    /// # Panics
+    /// Panics on NaN, infinite, or negative input.
     pub fn from_secs_f64(s: f64) -> Self {
-        debug_assert!(s >= 0.0, "negative time");
         Time(ns_from_f64(s * 1e9))
     }
 
@@ -97,8 +112,10 @@ impl Duration {
         Duration(s * 1_000_000_000)
     }
     /// Construct from fractional seconds (rounds to nearest nanosecond).
+    ///
+    /// # Panics
+    /// Panics on NaN, infinite, or negative input.
     pub fn from_secs_f64(s: f64) -> Self {
-        debug_assert!(s >= 0.0, "negative duration");
         Duration(ns_from_f64(s * 1e9))
     }
 
@@ -115,8 +132,10 @@ impl Duration {
         self.0 as f64 / 1e6
     }
     /// Multiply by a non-negative float, rounding to nearest nanosecond.
+    ///
+    /// # Panics
+    /// Panics if `factor` is NaN, infinite, or negative.
     pub fn mul_f64(self, factor: f64) -> Duration {
-        debug_assert!(factor >= 0.0, "negative factor");
         Duration(ns_from_f64(self.0 as f64 * factor))
     }
 }
@@ -266,5 +285,30 @@ mod tests {
     fn mul_f64_rounds() {
         assert_eq!(Duration::from_nanos(10).mul_f64(0.25), Duration::from_nanos(3));
         assert_eq!(Duration::from_secs(1).mul_f64(2.0), Duration::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite, non-negative nanosecond count")]
+    fn nan_seconds_panic_at_the_conversion() {
+        let _ = Duration::from_secs_f64(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite, non-negative nanosecond count")]
+    fn infinite_seconds_panic_at_the_conversion() {
+        let _ = Time::from_secs_f64(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite, non-negative nanosecond count")]
+    fn negative_seconds_panic_at_the_conversion() {
+        let _ = Duration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn huge_finite_seconds_saturate_to_the_max_horizon() {
+        // ~584 years fits; anything finite beyond clamps to Time::MAX
+        // rather than wrapping.
+        assert_eq!(Time::from_secs_f64(1e30), Time::MAX);
     }
 }
