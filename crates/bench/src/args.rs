@@ -1,9 +1,9 @@
 //! Minimal command-line parsing shared by the harness binaries.
 //!
 //! All binaries accept `--k <even>`, `--n <backups>`, `--seed <u64>`,
-//! `--trials <count>`, `--mode <str>`, `--jobs <threads>` and `--json`;
-//! unknown flags abort with a usage message. No external parser dependency
-//! — the flags are few and uniform.
+//! `--trials <count>`, `--mode <str>`, `--jobs <threads>`, `--json` and
+//! `--trace-out <path>`; unknown flags abort with a usage message. No
+//! external parser dependency — the flags are few and uniform.
 
 /// Parsed common arguments with experiment-specific defaults.
 #[derive(Clone, Debug)]
@@ -24,6 +24,10 @@ pub struct Args {
     pub jobs: usize,
     /// Emit machine-readable JSON instead of the table.
     pub json: bool,
+    /// Write a chrome-trace JSON of the run to this path (binaries that
+    /// support tracing also write a deterministic `<path>.digest` text
+    /// rendition). `None` = telemetry off (the default, near-zero cost).
+    pub trace_out: Option<String>,
 }
 
 impl Args {
@@ -39,7 +43,7 @@ impl Args {
             let flag = argv[i].clone();
             let takes_value = matches!(
                 flag.as_str(),
-                "--k" | "--n" | "--seed" | "--trials" | "--mode" | "--jobs"
+                "--k" | "--n" | "--seed" | "--trials" | "--mode" | "--jobs" | "--trace-out"
             );
             let value = if takes_value {
                 i += 1;
@@ -71,9 +75,10 @@ impl Args {
                     assert!(out.jobs >= 1, "--jobs must be >= 1");
                 }
                 "--json" => out.json = true,
+                "--trace-out" => out.trace_out = Some(value.expect("taken")),
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --k <even> --n <int> --seed <u64> --trials <int> --mode <str> --jobs <threads> --json"
+                        "flags: --k <even> --n <int> --seed <u64> --trials <int> --mode <str> --jobs <threads> --json --trace-out <path>"
                     );
                     std::process::exit(0);
                 }
@@ -98,6 +103,7 @@ impl Args {
             mode: String::new(),
             jobs: 1,
             json: false,
+            trace_out: None,
         }
     }
 }

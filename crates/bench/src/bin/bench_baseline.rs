@@ -26,7 +26,7 @@ use sharebackup_bench::fig1::{run_fig1c_trial, AbstractFailure, Fig1Setup, Fig1c
 use sharebackup_bench::{parallel_map_indexed, Args};
 use sharebackup_core::scenario::{FatTreeWorld, RecoveryMode};
 use sharebackup_flowsim::{max_min_rates_reference, FlowSim, WaterFiller};
-use sharebackup_sim::{Duration, SimRng, Time};
+use sharebackup_sim::{Duration, SimRng, Summary, Time};
 use sharebackup_topo::{FatTree, LinkId};
 
 const WF_FLOWS: usize = 1024;
@@ -72,6 +72,39 @@ fn time_per_call<F: FnMut()>(mut f: F) -> f64 {
     start.elapsed().as_secs_f64() / f64::from(calls)
 }
 
+/// Per-call seconds of `f` (one sample per call), measured over a ~0.2 s
+/// budget after one warm-up call. Feeds [`Summary::of`] so the report
+/// carries the full latency distribution, not just the mean.
+fn sample_per_call<F: FnMut()>(mut f: F) -> Vec<f64> {
+    f(); // warm-up
+    let budget = std::time::Duration::from_millis(200);
+    let start = Instant::now();
+    let mut samples = Vec::new();
+    loop {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64());
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    samples
+}
+
+/// A [`Summary`] as a JSON object, values scaled by `scale` (e.g. `1e6`
+/// for seconds → microseconds).
+fn summary_json(s: &Summary, scale: f64) -> minijson::Value {
+    minijson::json!({
+        "count": s.count,
+        "mean": s.mean * scale,
+        "min": s.min * scale,
+        "p50": s.p50 * scale,
+        "p90": s.p90 * scale,
+        "p99": s.p99 * scale,
+        "max": s.max * scale,
+    })
+}
+
 /// Section 1: reused dense solver vs. reference rebuild on the same
 /// instance; asserts the two agree before timing.
 fn bench_waterfill() -> minijson::Value {
@@ -93,7 +126,9 @@ fn bench_waterfill() -> minijson::Value {
         );
     }
 
-    let s_dense = time_per_call(|| wf.solve());
+    let dense_samples = sample_per_call(|| wf.solve());
+    let dense_summary = Summary::of(&dense_samples).expect("at least one solve sample");
+    let s_dense = dense_summary.mean;
     let s_ref = time_per_call(|| {
         let _ = max_min_rates_reference(&flows, wf_capacity);
     });
@@ -101,6 +136,7 @@ fn bench_waterfill() -> minijson::Value {
         "flows": WF_FLOWS,
         "links": WF_LINKS,
         "us_per_solve": s_dense * 1e6,
+        "us_per_solve_summary": summary_json(&dense_summary, 1e6),
         "us_per_solve_reference": s_ref * 1e6,
         "speedup": s_ref / s_dense,
     })
@@ -258,6 +294,15 @@ fn main() {
         waterfill["us_per_solve"].as_f64().expect("v"),
         waterfill["us_per_solve_reference"].as_f64().expect("v"),
         waterfill["speedup"].as_f64().expect("v"),
+    );
+    let sum = &waterfill["us_per_solve_summary"];
+    println!(
+        "           dense per-solve us: p50={:.1} p90={:.1} p99={:.1} max={:.1} (n={})",
+        sum["p50"].as_f64().expect("v"),
+        sum["p90"].as_f64().expect("v"),
+        sum["p99"].as_f64().expect("v"),
+        sum["max"].as_f64().expect("v"),
+        sum["count"],
     );
     println!(
         "events     {:>10.0} events/sec ({} loop steps per run)",

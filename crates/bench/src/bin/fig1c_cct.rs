@@ -2,7 +2,13 @@
 //! failure, for fat-tree (global optimal rerouting), F10 (local
 //! rerouting), and ShareBackup (hardware replacement).
 //!
-//! Usage: `fig1c_cct [--k 16] [--trials 20] [--seed 42] [--mode node|link|both] [--jobs N] [--json]`
+//! Usage: `fig1c_cct [--k 16] [--trials 20] [--seed 42] [--mode node|link|both] [--jobs N] [--json] [--trace-out <path>]`
+//!
+//! With `--trace-out`, each trial's ShareBackup run records telemetry
+//! (flowsim solve spans + the controller's recovery span tree) into a
+//! per-trial buffer; the buffers are collected in trial order and written
+//! as one chrome-trace JSON (track = trial) plus a `<path>.digest` text
+//! rendition — both byte-identical at any `--jobs` value.
 //!
 //! Expected shape (paper §2.2): both rerouting baselines suffer CCT
 //! slowdowns of orders of magnitude for the affected tail (a single
@@ -11,8 +17,8 @@
 //! stays at ≈1× because the failed switch is replaced within milliseconds
 //! and flows keep their original paths.
 
-use sharebackup_bench::fig1::{run_fig1c_trial, AbstractFailure, Fig1Setup};
-use sharebackup_bench::{parallel_map_indexed, Args};
+use sharebackup_bench::fig1::{run_fig1c_trial_traced, AbstractFailure, Fig1Setup};
+use sharebackup_bench::{parallel_map_indexed, write_trace_files, Args};
 use sharebackup_sim::{Cdf, SimRng};
 use sharebackup_topo::{FatTree, FatTreeConfig};
 
@@ -46,9 +52,22 @@ fn main() {
         })
         .collect();
 
+    let tracing = args.trace_out.is_some();
     let trials = parallel_map_indexed(args.jobs, args.trials, |trial| {
-        run_fig1c_trial(&setup, &ft, trial, failures[trial])
+        run_fig1c_trial_traced(&setup, &ft, trial, failures[trial], tracing)
     });
+
+    if let Some(path) = &args.trace_out {
+        let buffers: Vec<(u64, &sharebackup_telemetry::TraceBuffer)> = trials
+            .iter()
+            .enumerate()
+            .filter_map(|(trial, t)| {
+                let tid = u64::try_from(trial).unwrap_or(u64::MAX);
+                t.trace.as_ref().map(|b| (tid, b))
+            })
+            .collect();
+        write_trace_files(path, &buffers);
+    }
 
     let mut sd_ft: Vec<f64> = Vec::new();
     let mut sd_f10: Vec<f64> = Vec::new();

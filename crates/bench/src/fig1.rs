@@ -16,6 +16,7 @@ use sharebackup_core::{Controller, ControllerConfig};
 use sharebackup_flowsim::{impact, Coflow, FlowSim, SimOutcome};
 use sharebackup_routing::ecmp_path;
 use sharebackup_sim::{Duration, SimRng, Time};
+use sharebackup_telemetry::{TraceBuffer, Tracer};
 use sharebackup_topo::{
     F10Topology, FatTree, FatTreeConfig, GroupId, HostAddr, ShareBackup, ShareBackupConfig,
 };
@@ -383,13 +384,26 @@ pub fn run_sharebackup_failure(
     trace: &CoflowTrace,
     failure: AbstractFailure,
 ) -> (CctRun, ShareBackupWorld) {
+    run_sharebackup_failure_traced(setup, trace, failure, &Tracer::off())
+}
+
+/// [`run_sharebackup_failure`] with telemetry: the flow simulation records
+/// its solve spans/counters and the controller its recovery span tree onto
+/// `tracer`.
+pub fn run_sharebackup_failure_traced(
+    setup: &Fig1Setup,
+    trace: &CoflowTrace,
+    failure: AbstractFailure,
+    tracer: &Tracer,
+) -> (CctRun, ShareBackupWorld) {
     let sb = ShareBackup::build(ShareBackupConfig::for_fattree(setup.ft_config(), setup.n));
-    let controller = Controller::new(sb, ControllerConfig::default());
+    let mut controller = Controller::new(sb, ControllerConfig::default());
+    controller.tracer = tracer.clone();
     let mut world = ShareBackupWorld::new(controller, vec![]);
     let ev = failure.to_sharebackup(&world.controller.sb);
     let (events, times) = sharebackup_timeline(&world, &[(setup.fail_at, ev)]);
     world.events = events;
-    let out = FlowSim::new().run(&mut world, &trace.specs, &times);
+    let out = FlowSim::new().run_traced(&mut world, &trace.specs, &times, tracer);
     (ccts(trace, &out), world)
 }
 
@@ -419,6 +433,10 @@ pub struct Fig1cTrial {
     /// ShareBackup under the recovery controller (slowdowns against the
     /// fat-tree baseline, the common no-failure reference).
     pub sb: (Vec<f64>, usize),
+    /// The ShareBackup run's telemetry buffer when the trial ran traced
+    /// (`None` otherwise). Plain data, so traced trials still fan out
+    /// across worker threads and collect in trial order.
+    pub trace: Option<TraceBuffer>,
 }
 
 /// Run one complete Fig. 1(c) trial: the trial's trace, baseline and
@@ -434,16 +452,38 @@ pub fn run_fig1c_trial(
     trial: usize,
     failure: AbstractFailure,
 ) -> Fig1cTrial {
+    run_fig1c_trial_traced(setup, ft, trial, failure, false)
+}
+
+/// [`run_fig1c_trial`] with optional telemetry. When `tracing`, the
+/// ShareBackup run records onto a per-trial in-memory sink whose buffer is
+/// returned in [`Fig1cTrial::trace`]; the tracer never leaves this call,
+/// so the function stays safe to fan out across threads.
+pub fn run_fig1c_trial_traced(
+    setup: &Fig1Setup,
+    ft: &FatTree,
+    trial: usize,
+    failure: AbstractFailure,
+    tracing: bool,
+) -> Fig1cTrial {
     let trace = setup.trace(ft, trial);
     let base_ft = run_fattree_baseline(setup, &trace);
     let fail_ft = run_fattree_failure(setup, &trace, failure);
     let base_f10 = run_f10_baseline(setup, &trace);
     let fail_f10 = run_f10_failure(setup, &trace, failure);
-    let (fail_sb, _world) = run_sharebackup_failure(setup, &trace, failure);
+    let (tracer, sink) = if tracing {
+        let (t, s) = Tracer::recording();
+        (t, Some(s))
+    } else {
+        (Tracer::off(), None)
+    };
+    let (fail_sb, _world) = run_sharebackup_failure_traced(setup, &trace, failure, &tracer);
+    let buf = sink.map(|s| s.borrow_mut().take());
     Fig1cTrial {
         ft: slowdowns(&base_ft, &fail_ft),
         f10: slowdowns(&base_f10, &fail_f10),
         sb: slowdowns(&base_ft, &fail_sb),
+        trace: buf,
     }
 }
 

@@ -9,7 +9,9 @@ pub mod args;
 pub mod fig1;
 pub mod parallel;
 pub mod racks;
+pub mod trace;
 
 pub use args::Args;
 pub use parallel::parallel_map_indexed;
 pub use racks::RackMap;
+pub use trace::write_trace_files;

@@ -20,7 +20,9 @@ use std::sync::Mutex;
 ///
 /// With `jobs <= 1` (or `n <= 1`) this degenerates to a plain serial loop
 /// on the calling thread — no threads are spawned, so `--jobs 1` is
-/// exactly the historical serial code path. Workers pull indices from a
+/// exactly the historical serial code path; `jobs == 0` deliberately
+/// clamps to that same serial path rather than panicking or deadlocking
+/// with zero workers. Workers pull indices from a
 /// shared atomic counter (work-stealing), which keeps cores busy when
 /// trial durations are uneven.
 ///
@@ -100,5 +102,30 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out: Vec<usize> = parallel_map_indexed(4, 0, |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_serial() {
+        // jobs == 0 must not hang with no workers; it clamps to the
+        // serial path and completes.
+        let out = parallel_map_indexed(0, 4, |i| i * 2);
+        assert_eq!(out, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn zero_jobs_zero_items_is_fine() {
+        let out: Vec<usize> = parallel_map_indexed(0, 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn worker_panic_propagates() {
+        // A panicking closure must surface on the caller, not hang the
+        // scope or silently drop the slot.
+        let _ = parallel_map_indexed(2, 8, |i| {
+            assert!(i != 3, "trial 3 exploded");
+            i
+        });
     }
 }

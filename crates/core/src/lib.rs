@@ -41,4 +41,4 @@ pub use diagnosis::{diagnose, DiagnosisReport, Verdict};
 pub use latency::{RecoveryLatencyModel, RecoveryScheme};
 pub use maintenance::{RollingUpgrade, UpgradeStep};
 pub use scenario::{F10World, FatTreeWorld, RecoveryMode, ShareBackupWorld};
-pub use timeline::{simulate_recovery, Timeline, TimelineEvent};
+pub use timeline::{simulate_recovery, simulate_recovery_traced, Timeline, TimelineEvent};

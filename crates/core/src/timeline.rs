@@ -19,6 +19,7 @@
 //! `recovery_timeline` harness binary prints it).
 
 use sharebackup_sim::{Duration, Engine, Time, World};
+use sharebackup_telemetry::{TracedWorld, Tracer};
 use sharebackup_topo::{CsId, PhysId, SlotId};
 
 use crate::controller::Controller;
@@ -87,6 +88,29 @@ impl Timeline {
             let _ = writeln!(out, "{rel:>12}  {ev:?}");
         }
         out
+    }
+
+    /// Emit this timeline onto `tracer` as a machine-readable span tree:
+    /// a parent `recovery` span covering death → data-plane-whole, tiled
+    /// by three children — `detection` (death → detected), `diagnosis`
+    /// (detected → backup chosen) and `reconfiguration` (chosen →
+    /// recovered) — plus a `restored` instant at the recovery time. The
+    /// child durations sum exactly to [`Timeline::total_latency`].
+    pub fn record_spans(&self, tracer: &Tracer) {
+        if !tracer.is_enabled() {
+            return;
+        }
+        let chosen_at = self
+            .events
+            .iter()
+            .find(|(_, e)| matches!(e, TimelineEvent::BackupChosen(_)))
+            .map_or(self.detected_at, |(t, _)| *t);
+        tracer.span_begin(self.died_at, "recovery", "recovery");
+        tracer.span(self.died_at, self.detected_at, "recovery", "detection");
+        tracer.span(self.detected_at, chosen_at, "recovery", "diagnosis");
+        tracer.span(chosen_at, self.recovered_at, "recovery", "reconfiguration");
+        tracer.instant(self.recovered_at, "recovery", "restored");
+        tracer.span_end(self.recovered_at);
     }
 }
 
@@ -215,6 +239,24 @@ pub fn simulate_recovery(
     die_at: Time,
     probe_phase: Duration,
 ) -> Timeline {
+    simulate_recovery_traced(ctl, slot, die_at, probe_phase, &Tracer::off())
+}
+
+/// [`simulate_recovery`] with telemetry: every engine event is recorded
+/// as an instant (plus the `engine.events` counter and the
+/// `engine.queue_depth` histogram) via [`TracedWorld`], and the finished
+/// timeline is emitted as a recovery span tree via
+/// [`Timeline::record_spans`].
+///
+/// # Panics
+/// Panics if the slot's group has no available backup.
+pub fn simulate_recovery_traced(
+    ctl: &mut Controller,
+    slot: SlotId,
+    die_at: Time,
+    probe_phase: Duration,
+    tracer: &Tracer,
+) -> Timeline {
     let backup = *ctl
         .sb
         .spares(slot.group)
@@ -245,7 +287,18 @@ pub fn simulate_recovery(
         recovered_at: None,
         events: Vec::new(),
     };
-    engine.run(&mut world);
+    {
+        let mut traced = TracedWorld::new(&mut world, tracer.clone(), |ev: &Ev| match ev {
+            Ev::KeepAlive => "keepalive",
+            Ev::Die => "die",
+            Ev::Scan => "scan",
+            Ev::Processed => "processed",
+            Ev::CmdArrive(_) => "cmd-arrive",
+            Ev::ResetDone(_) => "reset-done",
+            Ev::AckArrive(_) => "ack-arrive",
+        });
+        engine.run(&mut traced);
+    }
 
     // Apply the replacement the timeline just orchestrated.
     let victim = ctl.sb.occupant(slot);
@@ -254,7 +307,7 @@ pub fn simulate_recovery(
     let recovery = ctl.handle_node_failure(victim, world.recovered_at.expect("recovered"));
     assert!(recovery.fully_recovered(), "backup was available");
 
-    Timeline {
+    let tl = Timeline {
         events: world.events,
         // lint:allow(unwrap) — same: all three milestones fired during the run
         died_at: world.died_at.expect("died"),
@@ -262,7 +315,9 @@ pub fn simulate_recovery(
         detected_at: world.detected_at.expect("detected"),
         // lint:allow(unwrap) — same: all three milestones fired during the run
         recovered_at: world.recovered_at.expect("recovered"),
-    }
+    };
+    tl.record_spans(tracer);
+    tl
 }
 
 #[cfg(test)]
@@ -362,5 +417,118 @@ mod tests {
         assert!(text.contains("SwitchDied"));
         assert!(text.contains("Detected"));
         assert!(text.contains("Recovered"));
+    }
+
+    /// A hand-built recovery sequence with round numbers, independent of
+    /// the engine: death at 1 ms, detection at 2 ms, recovery at 2.3 ms.
+    fn synthetic_timeline() -> Timeline {
+        let t = Time::from_micros;
+        let cs = CsId::HostEdge { pod: 0, m: 1 };
+        Timeline {
+            events: vec![
+                (t(0), TimelineEvent::KeepAlive),
+                (t(1000), TimelineEvent::SwitchDied),
+                (t(2000), TimelineEvent::Detected),
+                (t(2050), TimelineEvent::BackupChosen(PhysId(7))),
+                (t(2150), TimelineEvent::CommandArrived(cs)),
+                (t(2200), TimelineEvent::CircuitReset(cs)),
+                (t(2300), TimelineEvent::AckReceived(cs)),
+                (t(2300), TimelineEvent::Recovered),
+            ],
+            died_at: t(1000),
+            detected_at: t(2000),
+            recovered_at: t(2300),
+        }
+    }
+
+    #[test]
+    fn synthetic_latencies_decompose_exactly() {
+        let tl = synthetic_timeline();
+        assert_eq!(tl.detection_latency(), Duration::from_millis(1));
+        assert_eq!(tl.repair_latency(), Duration::from_micros(300));
+        assert_eq!(
+            tl.detection_latency() + tl.repair_latency(),
+            tl.total_latency()
+        );
+    }
+
+    #[test]
+    fn render_snapshot_is_stable() {
+        let expected = "    -1.000ms  KeepAlive
+         +0s  SwitchDied
+    +1.000ms  Detected
+    +1.050ms  BackupChosen(sw7)
+    +1.150ms  CommandArrived(HostEdge { pod: 0, m: 1 })
+    +1.200ms  CircuitReset(HostEdge { pod: 0, m: 1 })
+    +1.300ms  AckReceived(HostEdge { pod: 0, m: 1 })
+    +1.300ms  Recovered
+";
+        assert_eq!(synthetic_timeline().render(), expected);
+    }
+
+    #[test]
+    fn record_spans_tile_the_recovery() {
+        let (tracer, sink) = sharebackup_telemetry::Tracer::recording();
+        let tl = synthetic_timeline();
+        tl.record_spans(&tracer);
+        let buf = sink.borrow_mut().take();
+        let spans = buf.spans();
+        assert_eq!(spans.len(), 4);
+        let find = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("span {name}"))
+                .clone()
+        };
+        let rec = find("recovery");
+        let det = find("detection");
+        let dia = find("diagnosis");
+        let cfg = find("reconfiguration");
+        assert_eq!(rec.depth, 0);
+        assert_eq!((det.depth, dia.depth, cfg.depth), (1, 1, 1));
+        assert_eq!(det.begin, rec.begin);
+        assert_eq!(det.end, dia.begin);
+        assert_eq!(dia.end, cfg.begin);
+        assert_eq!(cfg.end, rec.end);
+        let sum = det.end.since(det.begin)
+            + dia.end.since(dia.begin)
+            + cfg.end.since(cfg.begin);
+        assert_eq!(sum, tl.total_latency());
+    }
+
+    #[test]
+    fn traced_simulation_records_engine_instants_and_span_tree() {
+        let (tracer, sink) = sharebackup_telemetry::Tracer::recording();
+        let mut ctl = controller(CircuitTech::Crosspoint);
+        let tl = simulate_recovery_traced(
+            &mut ctl,
+            GroupId::agg(0).slot(1),
+            Time::from_millis(5),
+            Duration::from_micros(137),
+            &tracer,
+        );
+        let buf = sink.borrow_mut().take();
+        assert!(buf.counters.get("engine.events").copied().unwrap_or(0) > 0);
+        let instants = |name: &str| {
+            buf.events
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e,
+                        sharebackup_telemetry::TraceEvent::Mark { name: n, .. } if n == name
+                    )
+                })
+                .count()
+        };
+        assert_eq!(instants("die"), 1);
+        // Agg slot: k/2 CS2 + k/2 CS3 = k circuit switches ack.
+        assert_eq!(instants("ack-arrive"), 6);
+        let spans = buf.spans();
+        let rec = spans
+            .iter()
+            .find(|s| s.name == "recovery")
+            .expect("recovery span");
+        assert_eq!(rec.end.since(rec.begin), tl.total_latency());
     }
 }

@@ -30,6 +30,6 @@ pub mod sim;
 
 pub use coflow::{Coflow, CoflowId, CoflowOutcome};
 pub use impact::ImpactReport;
-pub use maxmin::{max_min_rates, WaterFiller};
+pub use maxmin::{max_min_rates, SolveStats, WaterFiller};
 pub use maxmin_reference::max_min_rates_reference;
 pub use sim::{Environment, FlowOutcome, FlowSim, FlowSpec, SimOutcome};

@@ -39,6 +39,25 @@ use sharebackup_topo::LinkId;
 /// magnitude at Gb/s scale (see `gbps_scale_asymmetric_bottlenecks`).
 const EPS_FRACTION: f64 = 1e-9;
 
+/// Counters describing the most recent [`WaterFiller::solve`] call, for
+/// telemetry. Plain data kept by the solver itself (a few integer writes
+/// per solve) so the solver stays free of any tracing dependency; callers
+/// that record traces read these via
+/// [`WaterFiller::last_solve_stats`] after each solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Flows that entered the water-filling loop unfrozen (running, with a
+    /// non-empty path).
+    pub active_flows: u64,
+    /// Filling rounds until every flow froze.
+    pub rounds: u64,
+    /// Links carrying at least one running flow.
+    pub links_used: u64,
+    /// Incremental mutations (add/remove/stall/re-route) applied since the
+    /// previous solve — the "flows touched per incremental update" signal.
+    pub flows_touched: u64,
+}
+
 /// A flow slot in the [`WaterFiller`] registry.
 #[derive(Debug, Default)]
 struct FlowEntry {
@@ -86,8 +105,18 @@ pub struct WaterFiller {
     free: Vec<usize>,
     /// Scratch: ids of still-unfrozen flows during a solve.
     active: Vec<usize>,
+    /// Scratch: links still constraining some unfrozen flow during a
+    /// solve. Seeded from `used`, then compacted every freezing round so
+    /// the per-round delta/saturation scans skip dead links — `used`
+    /// itself must survive the solve untouched (it is the cross-solve
+    /// membership list that `gain_all` keeps incrementally).
+    cand: Vec<u32>,
     /// Rates per flow id, written by `solve`.
     rate: Vec<f64>,
+    /// Mutations since the last solve (rolled into `last_stats`).
+    touched: u64,
+    /// Counters from the most recent solve.
+    last_stats: SolveStats,
 }
 
 impl WaterFiller {
@@ -145,6 +174,7 @@ impl WaterFiller {
             running: true,
             alive: true,
         };
+        self.touched += 1;
         self.gain_all(fid);
         fid
     }
@@ -157,6 +187,7 @@ impl WaterFiller {
         self.flows[fid] = FlowEntry::default();
         self.rate[fid] = 0.0;
         self.free.push(fid);
+        self.touched += 1;
     }
 
     /// Mark a flow stalled (no route: zero rate, consumes nothing) or
@@ -166,6 +197,7 @@ impl WaterFiller {
         if self.flows[fid].running == want_running {
             return;
         }
+        self.touched += 1;
         if want_running {
             self.flows[fid].running = true;
             self.gain_all(fid);
@@ -178,6 +210,7 @@ impl WaterFiller {
     /// Replace a flow's path. Counts adjust incrementally; only links
     /// entering or leaving the flow's set see their tallies move.
     pub fn set_links(&mut self, fid: usize, links: Vec<u32>) {
+        self.touched += 1;
         if self.flows[fid].running {
             self.drop_all(fid);
             self.flows[fid].links = links;
@@ -197,6 +230,11 @@ impl WaterFiller {
     /// `f64::INFINITY` (they consume nothing).
     pub fn rate(&self, fid: usize) -> f64 {
         self.rate[fid]
+    }
+
+    /// Counters from the most recent [`WaterFiller::solve`].
+    pub fn last_solve_stats(&self) -> SolveStats {
+        self.last_stats
     }
 
     /// Bump the membership count of every link of flow `fid`.
@@ -246,6 +284,7 @@ impl WaterFiller {
             flows,
             active,
             rate,
+            cand,
             ..
         } = self;
 
@@ -277,10 +316,23 @@ impl WaterFiller {
             };
         }
 
+        let active_at_start = u64::try_from(active.len()).unwrap_or(u64::MAX);
+        let links_used = u64::try_from(used.len()).unwrap_or(u64::MAX);
+        let mut rounds = 0u64;
+
+        // Per-solve working set: once a link saturates, every flow crossing
+        // it freezes and its live count stays zero for the rest of the
+        // solve, so it can never constrain `delta` again. Scanning `cand`
+        // instead of `used` lets each freezing round shed dead links and
+        // keeps late rounds proportional to what is still filling.
+        cand.clear();
+        cand.extend_from_slice(used);
+
         while !active.is_empty() {
+            rounds += 1;
             // Smallest equal increment any unfrozen flow can absorb.
             let mut delta = f64::INFINITY;
-            for &li in used.iter() {
+            for &li in cand.iter() {
                 let l = li as usize;
                 if live[l] > 0 {
                     let share = headroom[l] / f64::from(live[l]);
@@ -306,7 +358,7 @@ impl WaterFiller {
             // headroom, which is far below EPS_FRACTION · capacity, so at
             // least one link registers every round.
             let mut frozen_any = false;
-            for &li in used.iter() {
+            for &li in cand.iter() {
                 let l = li as usize;
                 if live[l] > 0 && headroom[l] <= EPS_FRACTION * capacity[l] {
                     saturated[l] = true;
@@ -333,6 +385,7 @@ impl WaterFiller {
                     }
                 }
                 active.truncate(keep);
+                cand.retain(|&li| live[li as usize] > 0);
             } else {
                 // Numerical safety net: freeze everything rather than spin.
                 // Unreachable with the capacity-relative epsilon (see
@@ -340,6 +393,14 @@ impl WaterFiller {
                 active.clear();
             }
         }
+
+        self.last_stats = SolveStats {
+            active_flows: active_at_start,
+            rounds,
+            links_used,
+            flows_touched: self.touched,
+        };
+        self.touched = 0;
     }
 }
 
@@ -556,6 +617,34 @@ mod tests {
         assert!((wf.rate(f2) - 8.0).abs() < 1e-9);
         assert_eq!(wf.link_count(), 2);
         assert_eq!(wf.link_id(a as usize), l(0));
+    }
+
+    #[test]
+    fn solve_stats_count_rounds_and_touches() {
+        let mut wf = WaterFiller::new();
+        let a = wf.link_index(l(0), 1.0);
+        let b = wf.link_index(l(1), 2.0);
+        let f0 = wf.add_flow(vec![a, b]);
+        let _f1 = wf.add_flow(vec![a]);
+        let f2 = wf.add_flow(vec![b]);
+        wf.solve();
+        let s = wf.last_solve_stats();
+        // Classic two-round instance: link 0 saturates first, then link 1.
+        assert_eq!(s.active_flows, 3);
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.links_used, 2);
+        assert_eq!(s.flows_touched, 3, "three add_flow calls since last solve");
+
+        // No mutations between solves → zero touched; a stall + reroute +
+        // remove → three.
+        wf.solve();
+        assert_eq!(wf.last_solve_stats().flows_touched, 0);
+        wf.set_stalled(f0, true);
+        wf.set_stalled(f0, true); // no-op: already stalled, not a touch
+        wf.set_links(f0, vec![a]);
+        wf.remove_flow(f2);
+        wf.solve();
+        assert_eq!(wf.last_solve_stats().flows_touched, 3);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 
 use sharebackup_routing::FlowKey;
 use sharebackup_sim::{Duration, Time};
+use sharebackup_telemetry::Tracer;
 use sharebackup_topo::{LinkId, NodeId};
 
 use crate::maxmin::WaterFiller;
@@ -175,10 +176,28 @@ impl FlowSim {
         flows: &[FlowSpec],
         epochs: &[Time],
     ) -> SimOutcome {
+        self.run_traced(env, flows, epochs, &Tracer::off())
+    }
+
+    /// [`FlowSim::run`] with telemetry. With a recording tracer, emits one
+    /// `flowsim/run` span over the whole simulation, per-solve histograms
+    /// (active flows, filling rounds, links used, incremental mutations),
+    /// cause counters for each loop step (completion / epoch / arrival),
+    /// and an instant per fired epoch. With [`Tracer::off`] every
+    /// instrumentation point is a single branch, so `run` delegates here
+    /// unconditionally.
+    pub fn run_traced(
+        &self,
+        env: &mut impl Environment,
+        flows: &[FlowSpec],
+        epochs: &[Time],
+        tracer: &Tracer,
+    ) -> SimOutcome {
         assert!(
             epochs.windows(2).all(|w| w[0] <= w[1]),
             "epochs must be sorted"
         );
+        tracer.span_begin(Time::ZERO, "flowsim", "run");
         let mut outcome: Vec<FlowOutcome> = flows
             .iter()
             .map(|_| FlowOutcome {
@@ -207,6 +226,13 @@ impl FlowSim {
         loop {
             // Max-min rates for the current live set (stalled flows get 0).
             wf.solve();
+            if tracer.is_enabled() {
+                let st = wf.last_solve_stats();
+                tracer.record("flowsim.solve.active_flows", st.active_flows);
+                tracer.record("flowsim.solve.rounds", st.rounds);
+                tracer.record("flowsim.solve.links_used", st.links_used);
+                tracer.record("flowsim.solve.flows_touched", st.flows_touched);
+            }
             if bits.len() < wf.link_count() {
                 bits.resize(wf.link_count(), 0.0);
             }
@@ -251,6 +277,7 @@ impl FlowSim {
                     }
                 }
                 now = self.horizon;
+                tracer.instant(now, "flowsim", "horizon");
                 break;
             }
 
@@ -275,6 +302,7 @@ impl FlowSim {
             events += 1;
 
             // 1. Completions.
+            let mut completed_any = false;
             let mut j = 0;
             while j < live.len() {
                 if live[j].remaining == 0.0 {
@@ -282,9 +310,13 @@ impl FlowSim {
                     wf.remove_flow(f.fid);
                     outcome[f.index].completed = Some(now);
                     outcome[f.index].delivered = flows[f.index].bytes;
+                    completed_any = true;
                 } else {
                     j += 1;
                 }
+            }
+            if completed_any {
+                tracer.add("flowsim.cause.completion", 1);
             }
 
             // 2. Epochs due now (before arrivals, so new flows route under
@@ -296,6 +328,8 @@ impl FlowSim {
                 epoch_fired = true;
             }
             if epoch_fired {
+                tracer.add("flowsim.cause.epoch", 1);
+                tracer.instant(now, "flowsim", "epoch");
                 let keys: Vec<FlowKey> = live.iter().map(|f| f.key).collect();
                 let routes = env.route_all(&keys);
                 for (f, route) in live.iter().zip(routes) {
@@ -324,6 +358,9 @@ impl FlowSim {
             }
 
             // 3. Arrivals due now.
+            if order.get(next_arrival).is_some_and(|&i| flows[i].arrival <= now) {
+                tracer.add("flowsim.cause.arrival", 1);
+            }
             while next_arrival < order.len() && flows[order[next_arrival]].arrival <= now {
                 let idx = order[next_arrival];
                 next_arrival += 1;
@@ -372,6 +409,8 @@ impl FlowSim {
                 link_bits.insert(wf.link_id(i), b);
             }
         }
+        tracer.add("flowsim.loop_steps", events);
+        tracer.span_end(now);
         SimOutcome {
             flows: outcome,
             finished_at: now,
@@ -609,6 +648,45 @@ mod tests {
         let out = FlowSim::new().run(&mut env, &flows, &[]);
         // One arrival step, one completion step.
         assert_eq!(out.events, 2);
+    }
+
+    #[test]
+    fn traced_run_records_telemetry_without_changing_outcomes() {
+        use sharebackup_telemetry::TraceEvent;
+        let make = || {
+            let (mut env, n) = line_env();
+            env.paths.insert(0, None); // stalled until the epoch restores it
+            env.after_epoch.insert(0, Some(vec![n[0], n[2], n[1]]));
+            (env, n)
+        };
+        let (mut env, n) = make();
+        let flows = vec![spec(n[0], n[1], 0, 10, Time::ZERO)];
+        let epochs = [Time::from_secs(7)];
+        let plain = FlowSim::new().run(&mut env, &flows, &epochs);
+
+        let (tracer, sink) = sharebackup_telemetry::Tracer::recording();
+        let (mut env, _) = make();
+        let traced = FlowSim::new().run_traced(&mut env, &flows, &epochs, &tracer);
+        assert_eq!(plain.flows, traced.flows, "tracing must not perturb the sim");
+        assert_eq!(plain.events, traced.events);
+
+        let buf = sink.borrow_mut().take();
+        let spans = buf.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "run");
+        assert_eq!(spans[0].end, Time::from_secs(17));
+        assert_eq!(buf.counters.get("flowsim.cause.epoch"), Some(&1));
+        assert_eq!(buf.counters.get("flowsim.cause.arrival"), Some(&1));
+        assert_eq!(buf.counters.get("flowsim.cause.completion"), Some(&1));
+        assert_eq!(buf.counters.get("flowsim.loop_steps"), Some(&traced.events));
+        // One solve per loop iteration plus the initial one.
+        let rounds = buf.hists.get("flowsim.solve.rounds").expect("recorded");
+        assert_eq!(rounds.count(), traced.events + 1);
+        // The epoch shows up as an instant event.
+        assert!(buf.events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Mark { name, at, .. } if name == "epoch" && *at == Time::from_secs(7)
+        )));
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Deterministic plain-text digest of trace buffers.
+//!
+//! A human-skimmable (and CI-diffable) rendering: the span/instant event
+//! stream with virtual timestamps and nesting indentation, followed by
+//! sorted counter and histogram tables. Byte-identical for identical
+//! buffers — the companion to the chrome-trace exporter when a JSON
+//! viewer is overkill.
+
+use std::fmt::Write as _;
+
+use crate::buffer::{TraceBuffer, TraceEvent};
+
+/// Render `buffers` — one `(track id, buffer)` pair per trial/case — as a
+/// text digest. Track ids are emitted in the order given.
+pub fn text_digest(buffers: &[(u64, &TraceBuffer)]) -> String {
+    let mut out = String::new();
+    for &(tid, buf) in buffers {
+        let _ = writeln!(out, "== trace {tid}");
+        let mut depth = 0usize;
+        for ev in &buf.events {
+            match ev {
+                TraceEvent::Begin { at, cat, name } => {
+                    let _ = writeln!(out, "{:>14}  {}B {cat}/{name}", at.to_string(), "  ".repeat(depth));
+                    depth += 1;
+                }
+                TraceEvent::End { at } => {
+                    depth = depth.saturating_sub(1);
+                    let _ = writeln!(out, "{:>14}  {}E", at.to_string(), "  ".repeat(depth));
+                }
+                TraceEvent::Mark { at, cat, name } => {
+                    let _ = writeln!(out, "{:>14}  {}i {cat}/{name}", at.to_string(), "  ".repeat(depth));
+                }
+            }
+        }
+        if !buf.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, v) in &buf.counters {
+                let _ = writeln!(out, "  {name} = {v}");
+            }
+        }
+        if !buf.hists.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            for (name, h) in &buf.hists {
+                let _ = writeln!(out, "  {name}: {h}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::Tracer;
+    use sharebackup_sim::Time;
+
+    #[test]
+    fn digest_shows_nesting_counters_and_histograms() {
+        let (t, sink) = Tracer::recording();
+        t.span_begin(Time::from_millis(30), "recovery", "recovery");
+        t.span(Time::from_millis(30), Time::from_millis(31), "recovery", "detection");
+        t.span_end(Time::from_millis(31));
+        t.add("engine.events", 7);
+        t.record("flowsim.solve.rounds", 2);
+        let buf = sink.borrow_mut().take();
+        let d = text_digest(&[(3, &buf)]);
+        assert!(d.starts_with("== trace 3\n"), "{d}");
+        assert!(d.contains("B recovery/recovery"), "{d}");
+        // The nested span is indented one level deeper.
+        assert!(d.contains("  B recovery/detection"), "{d}");
+        assert!(d.contains("engine.events = 7"), "{d}");
+        assert!(d.contains("flowsim.solve.rounds: count=1"), "{d}");
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        let (t, sink) = Tracer::recording();
+        t.instant(Time::from_secs(1), "a", "x");
+        t.add("z", 1);
+        t.add("a", 1);
+        let buf = sink.borrow_mut().take();
+        let a = text_digest(&[(0, &buf)]);
+        let b = text_digest(&[(0, &buf)]);
+        assert_eq!(a, b);
+        // Counters print in sorted (BTreeMap) order.
+        let ia = a.find("  a = 1").expect("counter a");
+        let iz = a.find("  z = 1").expect("counter z");
+        assert!(ia < iz);
+    }
+
+    #[test]
+    fn empty_buffers_render_header_only() {
+        let buf = TraceBuffer::default();
+        assert_eq!(text_digest(&[(0, &buf)]), "== trace 0\n");
+        assert_eq!(text_digest(&[]), "");
+    }
+}

@@ -1,0 +1,106 @@
+//! Instrumentation adapter for the discrete-event engine: wrap any
+//! [`World`] in a [`TracedWorld`] to record per-event telemetry without
+//! touching the world's own `handle` logic.
+
+use sharebackup_sim::{Engine, Time, World};
+
+use crate::sink::Tracer;
+
+/// A [`World`] decorator that records, per dispatched event: the
+/// `engine.events` counter, the `engine.queue_depth` histogram (pending
+/// events at dispatch), and an instant named by the caller-supplied
+/// `name_of` function (typically mapping an event enum to its variant
+/// name). All recording short-circuits when the tracer is off.
+pub struct TracedWorld<'a, W, F> {
+    inner: &'a mut W,
+    tracer: Tracer,
+    name_of: F,
+}
+
+impl<'a, W, F> TracedWorld<'a, W, F> {
+    /// Wrap `inner`, naming events via `name_of`.
+    pub fn new(inner: &'a mut W, tracer: Tracer, name_of: F) -> Self {
+        TracedWorld {
+            inner,
+            tracer,
+            name_of,
+        }
+    }
+}
+
+impl<E, W: World<E>, F: FnMut(&E) -> &'static str> World<E> for TracedWorld<'_, W, F> {
+    fn handle(&mut self, engine: &mut Engine<E>, now: Time, event: E) {
+        if self.tracer.is_enabled() {
+            self.tracer.add("engine.events", 1);
+            let depth = u64::try_from(engine.pending()).unwrap_or(u64::MAX);
+            self.tracer.record("engine.queue_depth", depth);
+            self.tracer.instant(now, "engine", (self.name_of)(&event));
+        }
+        self.inner.handle(engine, now, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharebackup_sim::Duration;
+
+    #[derive(Debug, PartialEq, Eq)]
+    enum Ev {
+        Tick,
+        Stop,
+    }
+
+    struct Counting {
+        ticks: usize,
+    }
+
+    impl World<Ev> for Counting {
+        fn handle(&mut self, engine: &mut Engine<Ev>, now: Time, event: Ev) {
+            if event == Ev::Tick {
+                self.ticks += 1;
+                if self.ticks < 3 {
+                    engine.schedule(now + Duration::from_millis(1), Ev::Tick);
+                } else {
+                    engine.schedule(now + Duration::from_millis(1), Ev::Stop);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traced_world_records_events_and_delegates() {
+        let (tracer, sink) = Tracer::recording();
+        let mut world = Counting { ticks: 0 };
+        let mut engine = Engine::new();
+        engine.schedule(Time::ZERO, Ev::Tick);
+        {
+            let mut traced = TracedWorld::new(&mut world, tracer, |ev: &Ev| match ev {
+                Ev::Tick => "tick",
+                Ev::Stop => "stop",
+            });
+            engine.run(&mut traced);
+        }
+        assert_eq!(world.ticks, 3, "inner world still ran");
+        let buf = sink.borrow_mut().take();
+        assert_eq!(buf.counters.get("engine.events"), Some(&4));
+        let depth = buf.hists.get("engine.queue_depth").expect("recorded");
+        assert_eq!(depth.count(), 4);
+        let ticks = buf
+            .events
+            .iter()
+            .filter(|e| matches!(e, crate::TraceEvent::Mark { name, .. } if name == "tick"))
+            .count();
+        assert_eq!(ticks, 3);
+    }
+
+    #[test]
+    fn off_tracer_adds_no_events() {
+        let mut world = Counting { ticks: 0 };
+        let mut engine = Engine::new();
+        engine.schedule(Time::ZERO, Ev::Tick);
+        let mut traced = TracedWorld::new(&mut world, Tracer::off(), |_: &Ev| "ev");
+        engine.run(&mut traced);
+        assert_eq!(world.ticks, 3);
+    }
+}

@@ -1,0 +1,231 @@
+//! Log-bucketed histogram for `u64` samples.
+//!
+//! Fixed memory (65 power-of-two buckets), O(1) insert, deterministic
+//! quantile estimates — the right trade-off for hot-loop telemetry where
+//! exact sample retention would dominate the cost of the code under
+//! observation.
+
+/// One bucket per power of two: bucket 0 holds the value 0, bucket `b ≥ 1`
+/// holds values in `[2^(b-1), 2^b)`; bucket 64 holds `[2^63, u64::MAX]`.
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Quantiles are *bucket lower bounds*: `quantile(q)` returns the lower
+/// bound of the bucket containing the rank-`q` sample, i.e. an
+/// underestimate by at most 2×. Exact `min`/`max`/`count`/`sum` are kept
+/// alongside, so means are exact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Index of the bucket holding `v`.
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Lower bound of bucket `b` (inclusive).
+fn bucket_floor(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        #[allow(clippy::cast_precision_loss)] // telemetry display precision
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Lower bound of the bucket containing the rank-`q` sample
+    /// (`0.0 ≤ q ≤ 1.0`), clamped to the exact `min`/`max`. `None` if
+    /// empty or `q` is not a valid probability.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // Rank of the q-th sample, 1-based; q=0 → first, q=1 → last.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        #[allow(clippy::cast_precision_loss)]
+        let rank = ((q * (self.count - 1) as f64).round() as u64) + 1;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_floor(b).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, n) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl std::fmt::Display for LogHistogram {
+    /// `count=… min=… p50~… p90~… p99~… max=… mean~…` — the `~` marks
+    /// bucket-resolution estimates.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.min(), self.max(), self.mean()) {
+            (Some(min), Some(max), Some(mean)) => write!(
+                f,
+                "count={} min={} p50~{} p90~{} p99~{} max={} mean~{:.2}",
+                self.count,
+                min,
+                self.quantile(0.50).unwrap_or(0),
+                self.quantile(0.90).unwrap_or(0),
+                self.quantile(0.99).unwrap_or(0),
+                max,
+                mean,
+            ),
+            _ => write!(f, "count=0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_floor(64), 1u64 << 63);
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(bucket_floor(b) <= v, "floor({b}) > {v}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.to_string(), "count=0");
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let mut h = LogHistogram::new();
+        h.record(100);
+        assert_eq!(h.quantile(0.0), Some(100)); // clamped to min
+        assert_eq!(h.quantile(0.5), Some(100));
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert_eq!(h.mean(), Some(100.0));
+    }
+
+    #[test]
+    fn quantiles_are_bucket_floors_within_2x() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).expect("nonempty");
+        // True median 500 lives in bucket [256, 512).
+        assert_eq!(p50, 256);
+        let p99 = h.quantile(0.99).expect("nonempty");
+        assert_eq!(p99, 512); // 990 is in [512, 1024)
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
+        assert_eq!(h.mean(), Some(500.5));
+    }
+
+    #[test]
+    fn invalid_quantile_is_none() {
+        let mut h = LogHistogram::new();
+        h.record(1);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        assert_eq!(h.quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(1);
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(1000));
+        assert_eq!(a.sum(), 1011);
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-phase summary tables from an exported chrome-trace file — the
+//! engine behind `cargo xtask trace summarize <file>`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use minijson::Value;
+use sharebackup_sim::Summary;
+
+/// Parse a chrome-trace JSON document (as produced by
+/// [`crate::chrome_trace`], but any conformant `B`/`E`/`X` stream works)
+/// and render per-span-name duration [`Summary`] tables plus instant-event
+/// counts. Durations are in trace microseconds; spans are matched per
+/// `(pid, tid)` track with a LIFO stack, mirroring the trace format's
+/// pairing rule. Returns a human-readable table or a parse-error message.
+pub fn summarize_chrome_trace(text: &str) -> Result<String, String> {
+    let doc = minijson::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "missing \"traceEvents\" array".to_string())?;
+
+    // Open-span stacks per (pid, tid) track.
+    let mut stacks: BTreeMap<(i64, i64), Vec<(String, f64)>> = BTreeMap::new();
+    let mut durations: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut instants: BTreeMap<String, u64> = BTreeMap::new();
+    let mut tracks: std::collections::BTreeSet<(i64, i64)> = std::collections::BTreeSet::new();
+
+    for ev in events {
+        let ph = ev.get("ph").and_then(Value::as_str).unwrap_or("");
+        let track = (
+            ev.get("pid").and_then(Value::as_i64).unwrap_or(0),
+            ev.get("tid").and_then(Value::as_i64).unwrap_or(0),
+        );
+        let ts = ev.get("ts").and_then(Value::as_f64);
+        let name = ev.get("name").and_then(Value::as_str);
+        match ph {
+            "B" => {
+                let (Some(ts), Some(name)) = (ts, name) else {
+                    return Err("\"B\" event missing ts or name".to_string());
+                };
+                tracks.insert(track);
+                stacks.entry(track).or_default().push((name.to_string(), ts));
+            }
+            "E" => {
+                let Some(ts) = ts else {
+                    return Err("\"E\" event missing ts".to_string());
+                };
+                let Some((name, begin)) = stacks.entry(track).or_default().pop() else {
+                    return Err(format!("unmatched \"E\" event on track {track:?}"));
+                };
+                durations.entry(name).or_default().push(ts - begin);
+            }
+            "X" => {
+                let (Some(name), Some(dur)) =
+                    (name, ev.get("dur").and_then(Value::as_f64))
+                else {
+                    return Err("\"X\" event missing name or dur".to_string());
+                };
+                tracks.insert(track);
+                durations.entry(name.to_string()).or_default().push(dur);
+            }
+            "i" | "I" => {
+                if let Some(name) = name {
+                    tracks.insert(track);
+                    *instants.entry(name.to_string()).or_insert(0) += 1;
+                }
+            }
+            _ => {} // metadata, counters, flow events: not summarized
+        }
+    }
+    let dangling: usize = stacks.values().map(Vec::len).sum();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} span name(s) over {} track(s){}",
+        durations.len(),
+        tracks.len(),
+        if dangling > 0 {
+            format!(" ({dangling} unclosed span(s) ignored)")
+        } else {
+            String::new()
+        }
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "span (us)", "count", "mean", "p50", "p90", "p99", "max"
+    );
+    for (name, samples) in &durations {
+        if let Some(s) = Summary::of(samples) {
+            let _ = writeln!(
+                out,
+                "{name:<28} {:>7} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+                s.count, s.mean, s.p50, s.p90, s.p99, s.max
+            );
+        }
+    }
+    if !instants.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{:<28} {:>7}", "instant", "count");
+        for (name, n) in &instants {
+            let _ = writeln!(out, "{name:<28} {n:>7}");
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::TraceBuffer;
+    use crate::chrome::chrome_trace;
+    use crate::sink::Tracer;
+    use sharebackup_sim::Time;
+
+    fn recovery_buffer() -> TraceBuffer {
+        let (t, sink) = Tracer::recording();
+        let t0 = Time::from_secs(30);
+        t.span_begin(t0, "recovery", "recovery");
+        t.span(t0, t0 + sharebackup_sim::Duration::from_millis(1), "recovery", "detection");
+        t.instant(t0 + sharebackup_sim::Duration::from_millis(2), "recovery", "restored");
+        t.span_end(t0 + sharebackup_sim::Duration::from_millis(2));
+        let buf = sink.borrow_mut().take();
+        drop(t);
+        buf
+    }
+
+    #[test]
+    fn summarizes_round_tripped_trace() {
+        let buf = recovery_buffer();
+        let json = chrome_trace(&[(0, &buf), (1, &buf)]);
+        let table = summarize_chrome_trace(&json).expect("summarize");
+        assert!(table.contains("2 span name(s) over 2 track(s)"), "{table}");
+        // detection: 1 ms = 1000 µs on both tracks.
+        let detection = table
+            .lines()
+            .find(|l| l.starts_with("detection"))
+            .expect("detection row");
+        assert!(detection.contains("2"), "{detection}");
+        assert!(detection.contains("1000.000"), "{detection}");
+        assert!(table.contains("restored"), "{table}");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(summarize_chrome_trace("not json").is_err());
+        assert!(summarize_chrome_trace("{}").is_err());
+        assert!(
+            summarize_chrome_trace(r#"{"traceEvents": [{"ph": "E", "ts": 1.0}]}"#)
+                .unwrap_err()
+                .contains("unmatched"),
+        );
+    }
+
+    #[test]
+    fn accepts_complete_x_events() {
+        let json = r#"{"traceEvents": [
+            {"ph": "X", "ts": 0.0, "dur": 5.0, "pid": 0, "tid": 0, "name": "solve"}
+        ]}"#;
+        let table = summarize_chrome_trace(json).expect("summarize");
+        assert!(table.lines().any(|l| l.starts_with("solve")), "{table}");
+    }
+}

@@ -43,7 +43,7 @@ pub struct FileClass {
     pub kind: FileKind,
     /// True for the simulation-path crates whose behavior must be
     /// deterministic: `sim`, `topo`, `routing`, `flowsim`, `packet`, `core`,
-    /// `workload` — plus the root facade crate.
+    /// `workload`, `telemetry` — plus the root facade crate.
     pub sim_path: bool,
     /// True inside `crates/bench` (exempt from `ambient-rng`: wall-clock
     /// timing is the point of a benchmark harness).
@@ -68,8 +68,11 @@ pub struct Finding {
 }
 
 /// Crates whose simulation results must be bit-for-bit reproducible.
-pub const SIM_PATH_CRATES: [&str; 7] =
-    ["sim", "topo", "routing", "flowsim", "packet", "core", "workload"];
+/// `telemetry` is included because trace output ships in run artifacts
+/// that CI byte-diffs across job counts: a wall-clock stamp or ambient
+/// RNG draw there breaks reproducibility just like one in the simulator.
+pub const SIM_PATH_CRATES: [&str; 8] =
+    ["sim", "topo", "routing", "flowsim", "packet", "core", "workload", "telemetry"];
 
 /// Classify a workspace-relative path, or return `None` if the file is not
 /// part of any lintable target (e.g. fixtures).
@@ -334,6 +337,10 @@ mod tests {
         let root_lib = classify("src/lib.rs").expect("root");
         assert!(root_lib.sim_path);
         assert_eq!(root_lib.kind, FileKind::Library);
+
+        let tel = classify("crates/telemetry/src/sink.rs").expect("telemetry");
+        assert_eq!(tel.kind, FileKind::Library);
+        assert!(tel.sim_path && !tel.bench_crate);
 
         let test = classify("crates/topo/tests/structure_properties.rs").expect("test");
         assert_eq!(test.kind, FileKind::Test);

@@ -1,0 +1,90 @@
+//! `cargo xtask trace summarize <file>` — per-span latency tables from a
+//! chrome-trace JSON produced by a harness binary's `--trace-out` flag.
+//!
+//! The heavy lifting (parsing, span matching, percentile math) lives in
+//! [`sharebackup_telemetry::summarize_chrome_trace`]; this module is the
+//! thin CLI around it.
+
+/// CLI entry: `cargo xtask trace summarize <file.json>`.
+pub fn cli(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("summarize") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: cargo xtask trace summarize <file.json>");
+                return 2;
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("trace: cannot read {path}: {e}");
+                    return 2;
+                }
+            };
+            match sharebackup_telemetry::summarize_chrome_trace(&text) {
+                Ok(table) => {
+                    print!("{table}");
+                    0
+                }
+                Err(e) => {
+                    eprintln!("trace: {path}: {e}");
+                    1
+                }
+            }
+        }
+        Some("--help" | "-h") => {
+            eprintln!("usage: cargo xtask trace summarize <file.json>");
+            0
+        }
+        other => {
+            eprintln!(
+                "trace: unknown subcommand {:?}; usage: cargo xtask trace summarize <file.json>",
+                other.unwrap_or("")
+            );
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_string()).collect()
+    }
+
+    #[test]
+    fn missing_subcommand_or_path_is_usage_error() {
+        assert_eq!(cli(&s(&["summarize"])), 2);
+        assert_eq!(cli(&s(&["frobnicate"])), 2);
+        assert_eq!(cli(&[]), 2);
+    }
+
+    #[test]
+    fn unreadable_file_is_an_error() {
+        assert_eq!(cli(&s(&["summarize", "/nonexistent/trace.json"])), 2);
+    }
+
+    #[test]
+    fn summarizes_a_real_trace_file() {
+        use sharebackup_sim::Time;
+        use sharebackup_telemetry::{chrome_trace, Tracer};
+        let (tracer, sink) = Tracer::recording();
+        tracer.span(
+            Time::from_micros(10),
+            Time::from_micros(30),
+            "recovery",
+            "detection",
+        );
+        let buf = sink.borrow_mut().take();
+        let json = chrome_trace(&[(0, &buf)]);
+        let dir = std::env::temp_dir().join("sharebackup-xtask-trace-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("trace.json");
+        std::fs::write(&path, json).expect("write");
+        assert_eq!(
+            cli(&s(&["summarize", path.to_str().expect("utf-8")])),
+            0
+        );
+    }
+}

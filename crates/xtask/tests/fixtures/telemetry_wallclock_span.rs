@@ -1,0 +1,13 @@
+//! Fixture: a telemetry span stamped from the wall clock instead of the
+//! virtual clock. The ambient-rng rule must flag both time sources — spans
+//! land in trace files that CI byte-diffs across `--jobs` values, so a
+//! wall-clock stamp breaks reproducibility exactly like one in the
+//! simulator.
+
+use std::time::{Instant, SystemTime};
+
+pub fn span_with_wallclock_stamp(tracer: &Tracer) {
+    let started = Instant::now();
+    tracer.span_begin(Time::from_nanos(started.elapsed().as_nanos() as u64), "bad", "span");
+    let _epoch = SystemTime::now();
+}

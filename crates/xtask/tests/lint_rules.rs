@@ -77,6 +77,28 @@ fn violations_fail_the_lint() {
 }
 
 #[test]
+fn telemetry_crate_is_in_ambient_rng_scope() {
+    // The telemetry crate writes trace artifacts that CI byte-diffs, so a
+    // wall-clock-stamped span must be flagged like any sim-path violation.
+    let ws = TempWorkspace::new("telemetry-wallclock");
+    ws.stage(
+        "crates/telemetry/src/bad_span.rs",
+        &fixture("telemetry_wallclock_span.rs"),
+    );
+
+    let (code, stdout, _) = ws.lint(&[]);
+    assert_eq!(code, 1, "wall-clock span must fail the lint\n{stdout}");
+    assert!(
+        stdout.contains("[ambient-rng]"),
+        "expected an ambient-rng finding:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/telemetry/src/bad_span.rs"),
+        "finding must point into the telemetry crate:\n{stdout}"
+    );
+}
+
+#[test]
 fn clean_files_pass() {
     let ws = TempWorkspace::new("clean");
     ws.stage("crates/sim/src/good_map.rs", &fixture("map_iteration_clean.rs"));

@@ -24,6 +24,7 @@
 //! | [`core`] | `sharebackup-core` | the recovery controller, diagnosis, latency model, scenario worlds |
 //! | [`workload`] | `sharebackup-workload` | synthetic coflow traces, failure injection |
 //! | [`cost`] | `sharebackup-cost` | Table 2 cost model, capacity and scalability analysis |
+//! | [`telemetry`] | `sharebackup-telemetry` | virtual-time spans/counters/histograms, chrome-trace + digest exporters |
 //!
 //! ## Quickstart
 //!
@@ -56,5 +57,6 @@ pub use sharebackup_flowsim as flowsim;
 pub use sharebackup_packet as packet;
 pub use sharebackup_routing as routing;
 pub use sharebackup_sim as sim;
+pub use sharebackup_telemetry as telemetry;
 pub use sharebackup_topo as topo;
 pub use sharebackup_workload as workload;
