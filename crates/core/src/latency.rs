@@ -98,6 +98,23 @@ impl RecoveryLatencyModel {
     pub fn total(&self, scheme: RecoveryScheme) -> Duration {
         self.detection() + self.repair(scheme)
     }
+
+    /// One wasted circuit-reconfiguration round: command message out,
+    /// circuit reset, failure report back. Charged when a backup turns out
+    /// dead on arrival (the reconfiguration itself completed before the
+    /// keep-alive silence exposed the backup) or when a reconfiguration
+    /// request times out.
+    pub fn reconfig_round(&self, tech: CircuitTech) -> Duration {
+        self.control_message + tech.reconfiguration_delay() + self.control_message
+    }
+
+    /// Deterministic backoff before reconfiguration retry `attempt`
+    /// (1-based): doubling from one control-message time, capped at 2^10
+    /// so the shift cannot overflow. Keeping this closed-form (rather than
+    /// jittered) preserves the bit-for-bit reproducibility contract.
+    pub fn retry_backoff(&self, attempt: u32) -> Duration {
+        self.control_message * (1u64 << attempt.min(10))
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@
 //!   experiment.
 
 pub mod boost;
+pub mod chaos;
 pub mod cluster;
 pub mod controller;
 pub mod detection;
@@ -34,11 +35,14 @@ pub mod scenario;
 pub mod timeline;
 
 pub use boost::BoostPotential;
+pub use chaos::ChaosConfig;
 pub use cluster::ControllerCluster;
 pub use detection::{detection_latency_samples, simulate_detection, DetectionConfig};
 pub use controller::{Controller, ControllerConfig, ControllerStats, Recovery};
 pub use diagnosis::{diagnose, DiagnosisReport, Verdict};
 pub use latency::{RecoveryLatencyModel, RecoveryScheme};
 pub use maintenance::{RollingUpgrade, UpgradeStep};
-pub use scenario::{F10World, FatTreeWorld, RecoveryMode, ShareBackupWorld};
+pub use scenario::{
+    link_sb_event, map_chaos_schedule, F10World, FatTreeWorld, RecoveryMode, ShareBackupWorld,
+};
 pub use timeline::{simulate_recovery, simulate_recovery_traced, Timeline, TimelineEvent};

@@ -15,9 +15,15 @@
 //! [`sharebackup_flowsim::FlowSim`] consumes.
 
 use sharebackup_flowsim::Environment;
-use sharebackup_routing::{ecmp_path, ecmp::ecmp_path_f10, F10Router, FlowKey, GlobalReroute};
+use sharebackup_routing::{
+    ecmp::ecmp_path_f10, ecmp_path, DegradedMode, DegradedTracker, F10Router, FlowKey,
+    GlobalReroute,
+};
 use sharebackup_sim::{Duration, Time};
-use sharebackup_topo::{F10Topology, FatTree, LinkId, NodeId, PhysId, ShareBackup};
+use sharebackup_topo::{
+    F10Topology, FatTree, GroupId, LinkId, Network, NodeId, NodeKind, PhysId, ShareBackup,
+};
+use sharebackup_workload::{FailureEvent, FailureKind};
 
 use crate::controller::{Controller, Recovery};
 
@@ -203,6 +209,11 @@ pub enum SbEvent {
         /// Whether the switch-side interface is the broken one.
         switch_side: bool,
     },
+    /// A keep-alive loss: the controller receives a failure report about a
+    /// switch that is actually *healthy* (chaos). Ground truth is left
+    /// untouched — only the report fires, and the controller counts it as
+    /// spurious after evicting the innocent switch.
+    SpuriousReport(PhysId),
     /// The controller reacts to everything injected since the last
     /// `Recover` (scheduled one recovery latency after the failure epoch).
     Recover,
@@ -219,17 +230,37 @@ pub struct ShareBackupWorld {
     pending: Vec<SbEvent>,
     /// Recoveries performed, for inspection by the harness.
     pub recoveries: Vec<Recovery>,
+    /// Policy for flows whose static path crosses an unrecovered slot:
+    /// stall (the paper's behavior, default) or fall back to global
+    /// rerouting with per-flow accounting.
+    pub degraded_mode: DegradedMode,
+    /// Which flows ran degraded and for how long ([`DegradedMode::Reroute`]
+    /// only). Call [`DegradedTracker::finalize`] with the simulation end
+    /// time before reading totals.
+    pub tracker: DegradedTracker,
+    now: Time,
 }
 
 impl ShareBackupWorld {
-    /// A world driven by `controller` with the given epoch events.
+    /// A world driven by `controller` with the given epoch events. The
+    /// degraded mode defaults to [`DegradedMode::Stall`] — exactly the
+    /// pre-chaos behavior.
     pub fn new(controller: Controller, events: Vec<SbEvent>) -> ShareBackupWorld {
         ShareBackupWorld {
             controller,
             events,
             pending: Vec::new(),
             recoveries: Vec::new(),
+            degraded_mode: DegradedMode::Stall,
+            tracker: DegradedTracker::new(),
+            now: Time::ZERO,
         }
+    }
+
+    /// Select the degraded-mode policy (builder style).
+    pub fn with_degraded_mode(mut self, mode: DegradedMode) -> ShareBackupWorld {
+        self.degraded_mode = mode;
+        self
     }
 
     /// The deterministic recovery latency of this deployment — scenario
@@ -260,9 +291,35 @@ impl Environment for ShareBackupWorld {
         // During the (sub-3ms) recovery window the path is down and the
         // flow stalls; after recovery the *same* path works again.
         let p = ecmp_path(&self.sb().slots, flow);
-        self.sb().slots.net.path_usable(&p).then_some(p)
+        if self.sb().slots.net.path_usable(&p) {
+            self.tracker.mark_normal(flow.id, self.now);
+            return Some(p);
+        }
+        match self.degraded_mode {
+            // Stall until the slot heals (pre-chaos behavior).
+            DegradedMode::Stall => None,
+            // Graceful degradation: reroute exactly the affected flows
+            // over the surviving topology, with explicit accounting.
+            DegradedMode::Reroute => {
+                let fallback = GlobalReroute::route(&self.controller.sb.slots, flow)?;
+                if self.tracker.mark_degraded(flow.id, self.now) {
+                    self.controller.stats.degraded_flows += 1;
+                    self.controller
+                        .tracer
+                        .instant(self.now, "chaos", "flow-degraded");
+                }
+                Some(fallback)
+            }
+        }
+    }
+    fn on_advance(&mut self, now: Time) {
+        // Keep the clock current so degraded spells opened from `route`
+        // (which carries no timestamp) are stamped with the real instant,
+        // not the last epoch's.
+        self.now = now;
     }
     fn on_epoch(&mut self, index: usize, now: Time) {
+        self.now = now;
         match self.events[index] {
             SbEvent::NodeFail(p) => {
                 self.controller.sb.set_phys_healthy(p, false);
@@ -294,11 +351,18 @@ impl Environment for ShareBackupWorld {
                 }
                 self.pending.push(SbEvent::HostLinkFail { host, switch_side });
             }
+            SbEvent::SpuriousReport(p) => {
+                // No ground-truth change: the switch is fine, the report
+                // isn't.
+                self.pending.push(SbEvent::SpuriousReport(p));
+            }
             SbEvent::Recover => {
                 let pending = std::mem::take(&mut self.pending);
                 for ev in pending {
                     let r = match ev {
-                        SbEvent::NodeFail(p) => self.controller.handle_node_failure(p, now),
+                        SbEvent::NodeFail(p) | SbEvent::SpuriousReport(p) => {
+                            self.controller.handle_node_failure(p, now)
+                        }
                         SbEvent::LinkFail { faulty, other } => {
                             self.controller.handle_link_failure(faulty, other, now)
                         }
@@ -315,6 +379,86 @@ impl Environment for ShareBackupWorld {
             }
         }
     }
+}
+
+/// Map a probe-net link failure onto the physical event the controller
+/// sees, using the deterministic fat-tree wiring (host link m on edge
+/// iface m; edge j ↔ agg (j+m)%k/2 on edge iface k/2+m / agg iface m;
+/// agg j ↔ core j·k/2+u on agg iface k/2+u / core iface pod). The "up"
+/// side's interface is the faulty one, matching the Fig. 1 mapping.
+///
+/// `net` is a plain [`FatTree`] probe network with the same `k` as `sb`
+/// (chaos schedules are sampled against a probe topology because the
+/// injector speaks [`NodeId`]/[`LinkId`], not slots).
+pub fn link_sb_event(sb: &ShareBackup, net: &Network, l: LinkId) -> SbEvent {
+    let link = net.link(l);
+    let half = sb.k() / 2;
+    let (a, b) = (link.a, link.b);
+    let (ka, kb) = (net.node(a).kind, net.node(b).kind);
+    // Order the endpoints lower-layer first.
+    let rank = |k: NodeKind| match k {
+        NodeKind::Host => 0,
+        NodeKind::Edge => 1,
+        NodeKind::Agg => 2,
+        NodeKind::Core => 3,
+    };
+    let (lo, hi) = if rank(ka) <= rank(kb) { (a, b) } else { (b, a) };
+    let (nlo, nhi) = (net.node(lo), net.node(hi));
+    match (nlo.kind, nhi.kind) {
+        (NodeKind::Host, NodeKind::Edge) => SbEvent::HostLinkFail {
+            host: lo,
+            switch_side: true,
+        },
+        (NodeKind::Edge, NodeKind::Agg) => {
+            // lint:allow(unwrap) — every edge switch has a pod by construction
+            let pod = nlo.pod.expect("edge has a pod");
+            let (j, agg) = (nlo.index, nhi.index);
+            let m = (agg + half - j) % half;
+            SbEvent::LinkFail {
+                faulty: (sb.occupant(GroupId::edge(pod).slot(j)), half + m),
+                other: (sb.occupant(GroupId::agg(pod).slot(agg)), m),
+            }
+        }
+        (NodeKind::Agg, NodeKind::Core) => {
+            // lint:allow(unwrap) — every agg switch has a pod by construction
+            let pod = nlo.pod.expect("agg has a pod");
+            let (j, core) = (nlo.index, nhi.index);
+            let u = core % half;
+            SbEvent::LinkFail {
+                faulty: (sb.occupant(GroupId::agg(pod).slot(j)), half + u),
+                other: (sb.occupant(GroupId::core(u).slot(j)), pod),
+            }
+        }
+        other => unreachable!("no fat-tree link between {other:?}"),
+    }
+}
+
+/// Translate an injector-produced chaos schedule (against a plain fat-tree
+/// probe network) into the physical [`SbEvent`]s the controller sees.
+/// Events are phrased against the *initial* occupancy — later events can
+/// therefore name switches that have since been benched or repaired (a
+/// stale report), which the controller must tolerate; that is part of the
+/// chaos surface. Node failures landing on non-slot nodes (hosts) are
+/// dropped.
+pub fn map_chaos_schedule(
+    sb: &ShareBackup,
+    net: &Network,
+    events: &[FailureEvent],
+) -> Vec<(Time, SbEvent)> {
+    let mut out: Vec<(Time, SbEvent)> = Vec::with_capacity(events.len());
+    for ev in events {
+        let sb_ev = match ev.kind {
+            FailureKind::Node(node) => {
+                let Some(slot) = sb.node_slot(node) else {
+                    continue;
+                };
+                SbEvent::NodeFail(sb.occupant(slot))
+            }
+            FailureKind::Link(l) => link_sb_event(sb, net, l),
+        };
+        out.push((ev.at, sb_ev));
+    }
+    out
 }
 
 /// Build the matched `(events, epoch_times)` pair for a set of ShareBackup
@@ -511,6 +655,80 @@ mod tests {
             .filter(|e| matches!(e, SbEvent::PollRepairs))
             .count();
         assert_eq!(polls, 4);
+    }
+
+    #[test]
+    fn degraded_reroute_restores_connectivity_where_stall_does_not() {
+        use sharebackup_routing::DegradedMode;
+        use sharebackup_sim::Duration;
+
+        // Exhaust agg pod-0's pool (n=1): first failure eats the spare,
+        // second leaves its slot unrecovered.
+        let build = || {
+            let sb = ShareBackup::build(ShareBackupConfig::new(4, 1));
+            let controller = Controller::new(sb, ControllerConfig::default());
+            ShareBackupWorld::new(controller, vec![])
+        };
+        let exhaust = |world: &mut ShareBackupWorld| {
+            let g = GroupId::agg(0);
+            let v0 = world.controller.sb.occupant(g.slot(0));
+            world.controller.sb.set_phys_healthy(v0, false);
+            assert!(world
+                .controller
+                .handle_node_failure(v0, Time::from_millis(10))
+                .fully_recovered());
+            let v1 = world.controller.sb.occupant(g.slot(1));
+            world.controller.sb.set_phys_healthy(v1, false);
+            let r = world
+                .controller
+                .handle_node_failure(v1, Time::from_millis(20));
+            assert!(!r.fully_recovered(), "pool exhausted");
+            g.slot(1)
+        };
+
+        // A flow whose static ECMP path crosses the dead agg slot.
+        let pick_flow = |world: &ShareBackupWorld, dead: sharebackup_topo::SlotId| {
+            let src = world.sb().slots.host(HostAddr { pod: 0, edge: 0, host: 0 });
+            let dst = world.sb().slots.host(HostAddr { pod: 2, edge: 1, host: 0 });
+            let dead_node = world.sb().slot_node(dead);
+            (0..64)
+                .map(|id| FlowKey::new(src, dst, id))
+                .find(|f| ecmp_path(&world.sb().slots, f).contains(&dead_node))
+                .expect("some flow hashes through the dead agg")
+        };
+
+        // Stall mode: the affected flow gets no route.
+        let mut stall = build();
+        let dead = exhaust(&mut stall);
+        let flow = pick_flow(&stall, dead);
+        assert_eq!(stall.route(&flow), None, "stalled (pre-chaos behavior)");
+        assert_eq!(stall.controller.stats.degraded_flows, 0);
+
+        // Reroute mode: the same flow is routed around the dead slot and
+        // the degradation is accounted.
+        let mut reroute = build().with_degraded_mode(DegradedMode::Reroute);
+        let dead = exhaust(&mut reroute);
+        let flow = pick_flow(&reroute, dead);
+        reroute.now = Time::from_millis(25);
+        let p = reroute.route(&flow).expect("degraded fallback route");
+        let dead_node = reroute.sb().slot_node(dead);
+        assert!(!p.contains(&dead_node), "fallback avoids the dead slot");
+        assert!(reroute.sb().slots.net.path_usable(&p));
+        assert_eq!(reroute.controller.stats.degraded_flows, 1);
+        assert!(reroute.tracker.contains(flow.id));
+        // Routing again does not double-count the flow.
+        assert!(reroute.route(&flow).is_some());
+        assert_eq!(reroute.controller.stats.degraded_flows, 1);
+
+        // After the victims' repairs, the flow returns to its static path
+        // and the degraded spell closes.
+        let due = reroute.controller.next_repair_due().expect("repairs pending");
+        reroute.controller.poll_repairs(due + Duration::from_secs(1));
+        reroute.now = due + Duration::from_secs(1);
+        let back = reroute.route(&flow).expect("healed");
+        assert_eq!(back, ecmp_path(&reroute.sb().slots, &flow));
+        reroute.tracker.finalize(reroute.now);
+        assert!(reroute.tracker.total_degraded_time() > Duration::ZERO);
     }
 
     #[test]

@@ -50,6 +50,13 @@ pub trait Environment {
 
     /// Mutate the world at epoch `index` (failure injection, recovery, …).
     fn on_epoch(&mut self, index: usize, now: Time);
+
+    /// Called each time simulated time advances to `now`, before any
+    /// completion, epoch, or routing work at the new instant. Default:
+    /// no-op. Worlds that keep time-stamped accounting (e.g. degraded-flow
+    /// spells opened from [`Environment::route`], which carries no
+    /// timestamp) override this to track the clock.
+    fn on_advance(&mut self, _now: Time) {}
 }
 
 /// Per-flow result.
@@ -300,6 +307,7 @@ impl FlowSim {
             }
             now = next_t;
             events += 1;
+            env.on_advance(now);
 
             // 1. Completions.
             let mut completed_any = false;

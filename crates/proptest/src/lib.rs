@@ -408,9 +408,38 @@ pub mod sample {
     }
 }
 
+/// `prop::option`: optional values, like upstream's `proptest::option`.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `Some` of a value from `inner` three quarters of the time, `None`
+    /// otherwise (upstream defaults to a 75% `Some` weight too).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 /// The `prop::` namespace mirrored from upstream.
 pub mod prop {
     pub use crate::collection;
+    pub use crate::option;
     pub use crate::sample;
 }
 

@@ -1,0 +1,163 @@
+//! Graceful degradation to rerouting when hardware replacement runs dry.
+//!
+//! ShareBackup's pitch is "no rerouting" — but when a failure group's
+//! backup pool is exhausted (a correlated burst, DOA backups) or recovery
+//! is halted by an escalation, the affected slots stay down. The paper's
+//! answer is "size n so it never happens" (§5.1); a production deployment
+//! still needs a policy for when it does. [`DegradedMode`] names the two
+//! policies the scenario layer supports, and [`DegradedTracker`] keeps the
+//! per-flow accounting (which flows ran degraded, for how long) that the
+//! chaos harness reports — the accounting is what makes degradation
+//! *explicit* rather than a silent blackhole.
+
+use std::collections::BTreeMap;
+
+use sharebackup_sim::{Duration, Time};
+
+/// What to do with flows whose static path crosses an unrecovered slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DegradedMode {
+    /// Stall the flow until the slot heals (the pre-chaos behavior, and
+    /// the honest reading of the paper: ShareBackup never reroutes).
+    #[default]
+    Stall,
+    /// Fall back to global rerouting over the surviving topology for
+    /// exactly the affected flows; every such flow is counted and its
+    /// degraded time accumulated.
+    Reroute,
+}
+
+/// Per-flow record of degraded operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct DegradedSpell {
+    first_at: Time,
+    total: Duration,
+    since: Option<Time>,
+}
+
+/// Accounts which flows ran on fallback (rerouted) paths and for how long.
+///
+/// The scenario layer calls [`DegradedTracker::mark_degraded`] each epoch a
+/// flow is routed degraded and [`DegradedTracker::mark_normal`] when it is
+/// back on its static path; [`DegradedTracker::finalize`] closes open
+/// spells at the end of the run.
+#[derive(Clone, Debug, Default)]
+pub struct DegradedTracker {
+    flows: BTreeMap<u64, DegradedSpell>,
+}
+
+impl DegradedTracker {
+    /// An empty tracker.
+    pub fn new() -> DegradedTracker {
+        DegradedTracker::default()
+    }
+
+    /// Record that `flow` is routed degraded at `now`. Returns `true` if
+    /// this is the first time the flow degrades (callers bump their
+    /// degraded-flow counter exactly once per flow on this edge).
+    pub fn mark_degraded(&mut self, flow: u64, now: Time) -> bool {
+        let first = !self.flows.contains_key(&flow);
+        let spell = self.flows.entry(flow).or_insert(DegradedSpell {
+            first_at: now,
+            total: Duration::ZERO,
+            since: None,
+        });
+        if spell.since.is_none() {
+            spell.since = Some(now);
+        }
+        first
+    }
+
+    /// Record that `flow` is back on its normal path at `now`, closing its
+    /// open degraded spell (if any).
+    pub fn mark_normal(&mut self, flow: u64, now: Time) {
+        if let Some(spell) = self.flows.get_mut(&flow) {
+            if let Some(since) = spell.since.take() {
+                spell.total += now.since(since);
+            }
+        }
+    }
+
+    /// Close every open spell at `now` (end of simulation).
+    pub fn finalize(&mut self, now: Time) {
+        for spell in self.flows.values_mut() {
+            if let Some(since) = spell.since.take() {
+                spell.total += now.since(since);
+            }
+        }
+    }
+
+    /// Whether `flow` ever ran degraded.
+    pub fn contains(&self, flow: u64) -> bool {
+        self.flows.contains_key(&flow)
+    }
+
+    /// Number of flows that ever ran degraded.
+    pub fn degraded_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total degraded flow-time across all flows (spells still open are
+    /// not counted until [`DegradedTracker::finalize`]).
+    pub fn total_degraded_time(&self) -> Duration {
+        self.flows
+            .values()
+            .fold(Duration::ZERO, |acc, s| acc + s.total)
+    }
+
+    /// Per-flow `(id, first degraded at, total degraded time)` rows in
+    /// flow-id order — deterministic, ready for digest output.
+    pub fn report(&self) -> Vec<(u64, Time, Duration)> {
+        self.flows
+            .iter()
+            .map(|(&id, s)| (id, s.first_at, s.total))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mode_is_stall() {
+        assert_eq!(DegradedMode::default(), DegradedMode::Stall);
+    }
+
+    #[test]
+    fn spells_accumulate_and_first_edge_fires_once() {
+        let mut t = DegradedTracker::new();
+        assert!(t.mark_degraded(7, Time::from_secs(1)));
+        assert!(!t.mark_degraded(7, Time::from_secs(2)), "already degraded");
+        t.mark_normal(7, Time::from_secs(5));
+        assert_eq!(t.total_degraded_time(), Duration::from_secs(4));
+        // Second spell for the same flow: not a new degraded flow.
+        assert!(!t.mark_degraded(7, Time::from_secs(10)));
+        t.mark_normal(7, Time::from_secs(11));
+        assert_eq!(t.total_degraded_time(), Duration::from_secs(5));
+        assert_eq!(t.degraded_count(), 1);
+        let rows = t.report();
+        assert_eq!(rows, vec![(7, Time::from_secs(1), Duration::from_secs(5))]);
+    }
+
+    #[test]
+    fn finalize_closes_open_spells() {
+        let mut t = DegradedTracker::new();
+        t.mark_degraded(1, Time::from_secs(2));
+        t.mark_degraded(2, Time::from_secs(3));
+        t.mark_normal(1, Time::from_secs(4));
+        t.finalize(Time::from_secs(10));
+        assert_eq!(t.total_degraded_time(), Duration::from_secs(2 + 7));
+        // Finalize is idempotent.
+        t.finalize(Time::from_secs(20));
+        assert_eq!(t.total_degraded_time(), Duration::from_secs(9));
+    }
+
+    #[test]
+    fn mark_normal_without_degrade_is_a_no_op() {
+        let mut t = DegradedTracker::new();
+        t.mark_normal(42, Time::from_secs(1));
+        assert_eq!(t.degraded_count(), 0);
+        assert!(!t.contains(42));
+    }
+}

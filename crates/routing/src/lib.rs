@@ -16,7 +16,11 @@
 //! * [`impersonation`] — ShareBackup's live-impersonation tables (paper
 //!   §4.3): per-failure-group merged tables, VLAN-differentiated at the edge
 //!   layer, small enough for commodity TCAM (1056 entries at k=64).
+//! * [`degraded`] — the graceful-degradation policy ([`DegradedMode`]) and
+//!   per-flow accounting ([`DegradedTracker`]) used when replacement runs
+//!   out of backups and the scenario layer falls back to rerouting.
 
+pub mod degraded;
 pub mod ecmp;
 pub mod f10;
 pub mod flow;
@@ -24,6 +28,7 @@ pub mod impersonation;
 pub mod reroute;
 pub mod twolevel;
 
+pub use degraded::{DegradedMode, DegradedTracker};
 pub use ecmp::ecmp_path;
 pub use f10::F10Router;
 pub use flow::FlowKey;

@@ -24,7 +24,9 @@
 //! [`failures`] injects the paper's failure model: rare, transient,
 //! independent failures (99.99% device availability, minutes-long
 //! outages), one node or link at a time for the §2.2 study, Poisson
-//! failure processes for long-running scenarios.
+//! failure processes for long-running scenarios — plus the chaos
+//! extensions (correlated pod-domain bursts, link flapping) bundled
+//! behind [`failures::ChaosProfile`].
 
 pub mod coflowgen;
 pub mod failures;
@@ -32,6 +34,6 @@ pub mod stats;
 pub mod trace_io;
 
 pub use coflowgen::{CoflowTrace, TraceConfig};
-pub use failures::{FailureEvent, FailureInjector, FailureKind};
+pub use failures::{ChaosProfile, FailureEvent, FailureInjector, FailureKind};
 pub use stats::TraceShape;
 pub use trace_io::{BenchmarkCoflow, BenchmarkTrace, ParseError};

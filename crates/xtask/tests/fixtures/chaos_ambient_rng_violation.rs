@@ -1,0 +1,21 @@
+//! Fixture: a chaos sampler that reaches for ambient entropy instead of a
+//! passed-in `SimRng` stream. Staged as `crates/core/src/bad_chaos.rs` by
+//! the integration tests: every one of these draws breaks replay
+//! determinism (and the `--jobs` byte-identity contract) and must be
+//! flagged by `ambient-rng`.
+
+use std::time::SystemTime;
+
+pub struct ChaosRoller {
+    doa_rate: f64,
+}
+
+impl ChaosRoller {
+    pub fn roll_doa(&mut self) -> bool {
+        // Seeding chaos decisions from the wall clock: nondeterministic.
+        let now = SystemTime::now();
+        let jitter = rand::random::<f64>();
+        let _ = now;
+        jitter < self.doa_rate || rand::thread_rng().gen_bool(self.doa_rate)
+    }
+}

@@ -1,0 +1,30 @@
+//! Fixture: the sanctioned chaos-sampling idiom — every roll drawn from a
+//! caller-supplied `SimRng` child stream, no ambient entropy, no wall
+//! clock. Staged as `crates/core/src/good_chaos.rs` by the integration
+//! tests; must produce zero findings.
+
+use sharebackup_sim::SimRng;
+
+pub struct ChaosRoller {
+    doa_rate: f64,
+    rng: Option<SimRng>,
+}
+
+impl ChaosRoller {
+    /// Build with a dedicated child stream so chaos draws never perturb
+    /// workload or failure sampling.
+    pub fn with_stream(doa_rate: f64, parent: &SimRng) -> ChaosRoller {
+        ChaosRoller {
+            doa_rate,
+            rng: Some(parent.child("machinery")),
+        }
+    }
+
+    /// Without a stream installed, a roller performs zero draws.
+    pub fn roll_doa(&mut self) -> bool {
+        match &mut self.rng {
+            Some(rng) => rng.chance(self.doa_rate),
+            None => false,
+        }
+    }
+}

@@ -99,6 +99,38 @@ fn telemetry_crate_is_in_ambient_rng_scope() {
 }
 
 #[test]
+fn chaos_sampling_must_use_simrng_streams() {
+    // The chaos layer's determinism contract: every chaos decision (DOA
+    // rolls, reconfig failures, diagnosis errors, failure schedules) draws
+    // from a caller-supplied `SimRng` stream. A chaos sampler touching
+    // ambient entropy or the wall clock inside `crates/core` must be
+    // flagged; the sanctioned child-stream idiom must stay clean.
+    let ws = TempWorkspace::new("chaos-rng");
+    ws.stage("crates/core/src/bad_chaos.rs", &fixture("chaos_ambient_rng_violation.rs"));
+    ws.stage("crates/core/src/good_chaos.rs", &fixture("chaos_simrng_clean.rs"));
+
+    let (code, stdout, _) = ws.lint(&[]);
+    assert_eq!(code, 1, "ambient chaos sampling must fail the lint\n{stdout}");
+    assert!(
+        stdout.contains("[ambient-rng]"),
+        "expected ambient-rng findings:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/core/src/bad_chaos.rs"),
+        "finding must point at the ambient sampler:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("good_chaos.rs"),
+        "the SimRng child-stream idiom must not be flagged:\n{stdout}"
+    );
+    // Each ambient source is caught individually: the wall clock, the
+    // `rand::` paths, and `thread_rng`.
+    for needle in ["`SystemTime`", "`rand`", "`thread_rng`"] {
+        assert!(stdout.contains(needle), "missing finding for {needle}:\n{stdout}");
+    }
+}
+
+#[test]
 fn clean_files_pass() {
     let ws = TempWorkspace::new("clean");
     ws.stage("crates/sim/src/good_map.rs", &fixture("map_iteration_clean.rs"));
