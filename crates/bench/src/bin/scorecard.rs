@@ -8,7 +8,8 @@
 #![allow(clippy::cast_possible_truncation)] // bounded rack/salt arithmetic
 use sharebackup_bench::Args;
 use sharebackup_core::{
-    diagnose, Controller, ControllerConfig, RecoveryLatencyModel, RecoveryScheme, Verdict,
+    diagnose, ChaosConfig, Controller, ControllerConfig, FailoverConfig, FailoverPlane,
+    FailureReport, RecoveryLatencyModel, RecoveryPhase, RecoveryScheme, Verdict,
 };
 use sharebackup_cost::model::{relative_additional, Architecture, Medium};
 use sharebackup_cost::{CapacityAnalysis, ScalabilityLimits};
@@ -111,6 +112,46 @@ fn checks() -> Vec<Check> {
         "merged edge table = k/2 + k²/4 entries (1056 @ k=64)",
         format!("{}", GroupTables::edge_entry_count(64)),
         GroupTables::edge_entry_count(64) == 1056,
+    );
+
+    // §5.1: controller replication — a lossy control channel retries, and
+    // a primary crash between diagnosis and reconfiguration is survived by
+    // the elected successor (journal re-driven, counters consistent).
+    let mut ctl = Controller::new(
+        ShareBackup::build(ShareBackupConfig::new(4, 1)),
+        ControllerConfig::default(),
+    );
+    let mut plane = FailoverPlane::with_chaos(
+        FailoverConfig::default(),
+        ChaosConfig { control_loss_rate: 1.0, ..ChaosConfig::off() },
+        SimRng::seed_from_u64(5).child("scorecard-control"),
+    );
+    let victim = ctl.sb.occupant(GroupId::agg(0).slot(0));
+    ctl.sb.set_phys_healthy(victim, false);
+    let t0 = Time::from_secs(1);
+    plane.submit(&mut ctl, FailureReport::Node(victim), t0); // every attempt lost
+    plane.chaos.control_loss_rate = 0.0; // channel heals...
+    plane.force_crash_at(RecoveryPhase::Diagnosed); // ...but the primary dies
+    let t1 = t0 + sharebackup_sim::Duration::from_secs(1);
+    plane.poll(&mut ctl, t1);
+    plane.poll(&mut ctl, t1 + plane.cfg.blackout());
+    let done = plane.take_completed();
+    ctl.stats.assert_consistent();
+    push(
+        "§5.1",
+        "replicated controller: crash mid-recovery survived by successor",
+        format!(
+            "elections={} resumed={} retries={} recovered={}",
+            ctl.stats.elections,
+            ctl.stats.recoveries_resumed,
+            ctl.stats.control_retries,
+            done.len()
+        ),
+        done.len() == 1
+            && done[0].recovery.fully_recovered()
+            && ctl.stats.elections == 1
+            && ctl.stats.recoveries_resumed >= 1
+            && ctl.stats.control_retries >= 1,
     );
 
     // §5.1: capacity.

@@ -20,6 +20,16 @@
 //! layer — the controller just has to survive a report about a switch that
 //! is actually healthy (see `Controller::handle_node_failure`).
 //!
+//! The control plane itself can also misbehave (paper §5.1): the primary
+//! controller replica can crash at any phase boundary of an in-flight
+//! recovery, and control messages (failure reports, reconfiguration
+//! commands) traverse a lossy/delayed control network. Those knobs —
+//! [`ChaosConfig::controller_crash_rate`], [`ChaosConfig::control_loss_rate`]
+//! and [`ChaosConfig::control_delay_rate`] — are evaluated **only** by the
+//! replicated control plane in [`crate::failover`], on its own
+//! `SimRng::child` stream; a bare `Controller` never reads them, so every
+//! pre-existing digest stays byte-identical.
+//!
 //! All chaos decisions draw from a [`sharebackup_sim::SimRng`] stream the
 //! caller passes in (`Controller::with_chaos`); a controller built without
 //! one performs **zero** chaos draws and behaves bit-identically to the
@@ -41,6 +51,19 @@ pub struct ChaosConfig {
     pub false_conviction_rate: f64,
     /// Probability that diagnosis exonerates a faulty suspect.
     pub false_exoneration_rate: f64,
+    /// Probability that the primary controller replica crashes at a
+    /// recovery phase boundary (report processed / diagnosis done /
+    /// reconfiguration executed-but-unacked). Evaluated only by
+    /// [`crate::failover::FailoverPlane`].
+    pub controller_crash_rate: f64,
+    /// Probability that one control-message transmission (a failure report
+    /// or a reconfiguration command batch) is lost in the control network.
+    /// Evaluated only by [`crate::failover::FailoverPlane`].
+    pub control_loss_rate: f64,
+    /// Probability that a delivered control message suffers an extra
+    /// propagation delay (`FailoverConfig::control_delay`). Evaluated only
+    /// by [`crate::failover::FailoverPlane`].
+    pub control_delay_rate: f64,
 }
 
 impl ChaosConfig {
@@ -54,6 +77,9 @@ impl ChaosConfig {
             max_reconfig_retries: 3,
             false_conviction_rate: 0.0,
             false_exoneration_rate: 0.0,
+            controller_crash_rate: 0.0,
+            control_loss_rate: 0.0,
+            control_delay_rate: 0.0,
         }
     }
 
@@ -63,6 +89,9 @@ impl ChaosConfig {
             || self.reconfig_failure_rate > 0.0
             || self.false_conviction_rate > 0.0
             || self.false_exoneration_rate > 0.0
+            || self.controller_crash_rate > 0.0
+            || self.control_loss_rate > 0.0
+            || self.control_delay_rate > 0.0
     }
 }
 
@@ -89,6 +118,9 @@ mod tests {
             |c: &mut ChaosConfig| c.reconfig_failure_rate = 0.1,
             |c: &mut ChaosConfig| c.false_conviction_rate = 0.1,
             |c: &mut ChaosConfig| c.false_exoneration_rate = 0.1,
+            |c: &mut ChaosConfig| c.controller_crash_rate = 0.1,
+            |c: &mut ChaosConfig| c.control_loss_rate = 0.1,
+            |c: &mut ChaosConfig| c.control_delay_rate = 0.1,
         ] {
             let mut c = ChaosConfig::off();
             f(&mut c);

@@ -8,8 +8,42 @@
 //! The election here is deterministic (lowest-id live replica wins), which
 //! is all the architecture requires — the paper leaves placement and
 //! coordination as open questions (§6).
+//!
+//! `ControllerCluster` is pure membership bookkeeping: who is up, who is
+//! primary, how many elections ran. The event-driven machinery that crashes
+//! the primary *mid-recovery* and re-drives journaled recoveries lives in
+//! [`crate::failover`], which owns one of these clusters.
+//!
+//! All mutating operations are **idempotent** and return typed errors for
+//! out-of-range replica ids instead of panicking: failure schedules replay
+//! duplicate crash reports (a switch reports to every replica, and chaos
+//! schedules can fail an already-dead replica), and a duplicate must neither
+//! charge a second election nor crash the harness.
+
+use std::fmt;
 
 use sharebackup_sim::Duration;
+
+/// Error from naming a replica that does not exist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplicaOutOfRange {
+    /// The offending replica id.
+    pub id: usize,
+    /// Cluster size (valid ids are `0..replicas`).
+    pub replicas: usize,
+}
+
+impl fmt::Display for ReplicaOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replica id {} out of range for a {}-replica cluster",
+            self.id, self.replicas
+        )
+    }
+}
+
+impl std::error::Error for ReplicaOutOfRange {}
 
 /// A replicated controller cluster.
 #[derive(Clone, Debug)]
@@ -48,30 +82,76 @@ impl ControllerCluster {
         self.elections
     }
 
+    /// Cluster size (live or dead).
+    pub fn replicas(&self) -> usize {
+        self.up.len()
+    }
+
+    /// The configured leader-election delay.
+    pub fn election_time(&self) -> Duration {
+        self.election_time
+    }
+
+    /// Whether replica `id` is currently live.
+    pub fn is_up(&self, id: usize) -> Result<bool, ReplicaOutOfRange> {
+        self.check(id)?;
+        Ok(self.up[id])
+    }
+
     /// Live replica count.
     pub fn live_replicas(&self) -> usize {
         self.up.iter().filter(|&&u| u).count()
     }
 
-    /// Kill a replica. If it was the primary, an election runs and the
-    /// failover delay is returned; otherwise recovery capacity is
+    /// Kill a replica. If it was the (live) primary, an election runs and
+    /// the failover delay is returned; otherwise recovery capacity is
     /// unaffected and `Duration::ZERO` is returned.
-    pub fn fail_replica(&mut self, id: usize) -> Duration {
+    ///
+    /// Idempotent: failing an already-dead replica — a duplicate crash
+    /// report, or a replayed schedule entry — changes nothing, holds no
+    /// election, and charges `Duration::ZERO`.
+    pub fn fail_replica(&mut self, id: usize) -> Result<Duration, ReplicaOutOfRange> {
+        self.check(id)?;
+        if !self.up[id] {
+            return Ok(Duration::ZERO);
+        }
         self.up[id] = false;
         if self.primary == Some(id) {
             self.elect();
             if self.primary.is_some() {
-                return self.election_time;
+                return Ok(self.election_time);
             }
         }
-        Duration::ZERO
+        Ok(Duration::ZERO)
     }
 
-    /// Restore a replica (it rejoins as a follower).
-    pub fn restore_replica(&mut self, id: usize) {
+    /// Restore a replica (it rejoins as a follower). If the cluster had no
+    /// primary, an election runs and the delay is returned.
+    ///
+    /// Idempotent: restoring an already-live replica changes nothing.
+    pub fn restore_replica(&mut self, id: usize) -> Result<Duration, ReplicaOutOfRange> {
+        self.check(id)?;
+        if self.up[id] {
+            return Ok(Duration::ZERO);
+        }
         self.up[id] = true;
         if self.primary.is_none() {
             self.elect();
+            if self.primary.is_some() {
+                return Ok(self.election_time);
+            }
+        }
+        Ok(Duration::ZERO)
+    }
+
+    fn check(&self, id: usize) -> Result<(), ReplicaOutOfRange> {
+        if id < self.up.len() {
+            Ok(())
+        } else {
+            Err(ReplicaOutOfRange {
+                id,
+                replicas: self.up.len(),
+            })
         }
     }
 
@@ -92,27 +172,33 @@ impl ControllerCluster {
 mod tests {
     use super::*;
 
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
     #[test]
     fn initial_primary_is_zero() {
-        let c = ControllerCluster::new(3, Duration::from_millis(50));
+        let c = ControllerCluster::new(3, ms(50));
         assert_eq!(c.primary(), Some(0));
         assert!(c.available());
         assert_eq!(c.elections(), 1);
+        assert_eq!(c.replicas(), 3);
+        assert_eq!(c.election_time(), ms(50));
     }
 
     #[test]
     fn primary_failure_elects_next_live() {
-        let mut c = ControllerCluster::new(3, Duration::from_millis(50));
-        let delay = c.fail_replica(0);
-        assert_eq!(delay, Duration::from_millis(50));
+        let mut c = ControllerCluster::new(3, ms(50));
+        let delay = c.fail_replica(0).expect("in range");
+        assert_eq!(delay, ms(50));
         assert_eq!(c.primary(), Some(1));
         assert_eq!(c.elections(), 2);
     }
 
     #[test]
     fn follower_failure_is_free() {
-        let mut c = ControllerCluster::new(3, Duration::from_millis(50));
-        let delay = c.fail_replica(2);
+        let mut c = ControllerCluster::new(3, ms(50));
+        let delay = c.fail_replica(2).expect("in range");
         assert_eq!(delay, Duration::ZERO);
         assert_eq!(c.primary(), Some(0));
         assert_eq!(c.elections(), 1);
@@ -120,22 +206,80 @@ mod tests {
 
     #[test]
     fn total_loss_and_restore() {
-        let mut c = ControllerCluster::new(2, Duration::from_millis(10));
-        c.fail_replica(0);
-        c.fail_replica(1);
+        let mut c = ControllerCluster::new(2, ms(10));
+        c.fail_replica(0).expect("in range");
+        c.fail_replica(1).expect("in range");
         assert!(!c.available());
         assert_eq!(c.live_replicas(), 0);
-        c.restore_replica(1);
+        let delay = c.restore_replica(1).expect("in range");
+        assert_eq!(delay, ms(10), "restoring into a headless cluster elects");
         assert!(c.available());
         assert_eq!(c.primary(), Some(1));
     }
 
     #[test]
     fn restored_replica_does_not_usurp() {
-        let mut c = ControllerCluster::new(2, Duration::from_millis(10));
-        c.fail_replica(0);
+        let mut c = ControllerCluster::new(2, ms(10));
+        c.fail_replica(0).expect("in range");
         assert_eq!(c.primary(), Some(1));
-        c.restore_replica(0);
+        let delay = c.restore_replica(0).expect("in range");
+        assert_eq!(delay, Duration::ZERO, "rejoining as follower is free");
         assert_eq!(c.primary(), Some(1), "no usurpation on rejoin");
+    }
+
+    // Satellite regressions: out-of-range ids are typed errors, not
+    // panics, and duplicate fails/restores are idempotent.
+
+    #[test]
+    fn out_of_range_ids_are_typed_errors_not_panics() {
+        let mut c = ControllerCluster::new(2, ms(10));
+        let err = ReplicaOutOfRange { id: 2, replicas: 2 };
+        assert_eq!(c.fail_replica(2), Err(err));
+        assert_eq!(c.restore_replica(9), Err(ReplicaOutOfRange { id: 9, replicas: 2 }));
+        assert_eq!(c.is_up(2), Err(err));
+        assert!(err.to_string().contains("out of range"));
+        // Nothing changed.
+        assert_eq!(c.primary(), Some(0));
+        assert_eq!(c.live_replicas(), 2);
+        assert_eq!(c.elections(), 1);
+    }
+
+    #[test]
+    fn double_fail_of_dead_primary_charges_nothing_and_holds_no_election() {
+        let mut c = ControllerCluster::new(3, ms(50));
+        let first = c.fail_replica(0).expect("in range");
+        assert_eq!(first, ms(50));
+        assert_eq!(c.elections(), 2);
+        // A duplicate crash report for the already-dead former primary:
+        // free, electorally silent, state unchanged.
+        let dup = c.fail_replica(0).expect("in range");
+        assert_eq!(dup, Duration::ZERO);
+        assert_eq!(c.elections(), 2, "no second election charged");
+        assert_eq!(c.primary(), Some(1));
+        assert_eq!(c.live_replicas(), 2);
+    }
+
+    #[test]
+    fn double_restore_is_idempotent() {
+        let mut c = ControllerCluster::new(2, ms(10));
+        c.fail_replica(0).expect("in range");
+        c.fail_replica(1).expect("in range");
+        let first = c.restore_replica(0).expect("in range");
+        assert_eq!(first, ms(10));
+        let elections = c.elections();
+        let dup = c.restore_replica(0).expect("in range");
+        assert_eq!(dup, Duration::ZERO);
+        assert_eq!(c.elections(), elections, "no spurious re-election");
+        assert_eq!(c.primary(), Some(0));
+    }
+
+    #[test]
+    fn is_up_tracks_membership() {
+        let mut c = ControllerCluster::new(2, ms(10));
+        assert_eq!(c.is_up(1), Ok(true));
+        c.fail_replica(1).expect("in range");
+        assert_eq!(c.is_up(1), Ok(false));
+        c.restore_replica(1).expect("in range");
+        assert_eq!(c.is_up(1), Ok(true));
     }
 }

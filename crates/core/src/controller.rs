@@ -125,6 +125,34 @@ pub struct ControllerStats {
     /// Flows the scenario layer routed in degraded (reroute) mode at least
     /// once; maintained by `ShareBackupWorld`, not the controller.
     pub degraded_flows: u64,
+    /// Controller replicas crashed (any replica, primary or follower);
+    /// maintained by `FailoverPlane`, not the bare controller.
+    pub controller_crashes: u64,
+    /// Controller replicas restored; maintained by `FailoverPlane`.
+    pub controller_restores: u64,
+    /// Leader elections held after a crash or a restore (the initial
+    /// bootstrap election is excluded); maintained by `FailoverPlane`.
+    pub elections: u64,
+    /// Failure reports submitted to the replicated control plane;
+    /// maintained by `FailoverPlane`.
+    pub control_reports: u64,
+    /// Journaled recoveries re-driven by a successor primary after the
+    /// primary that was processing them crashed; each journal entry is
+    /// counted at most once. Maintained by `FailoverPlane`.
+    pub recoveries_resumed: u64,
+    /// Control-message transmissions lost in the control network (chaos);
+    /// maintained by `FailoverPlane`.
+    pub control_losses: u64,
+    /// Control-message transmissions retried after a loss; maintained by
+    /// `FailoverPlane`.
+    pub control_retries: u64,
+    /// Control messages abandoned after exhausting the per-message retry
+    /// budget (the recovery stays journaled and is re-driven later);
+    /// maintained by `FailoverPlane`.
+    pub control_exhausted: u64,
+    /// Delivered control messages that suffered an extra chaos delay;
+    /// maintained by `FailoverPlane`.
+    pub control_delays: u64,
 }
 
 impl ControllerStats {
@@ -154,6 +182,19 @@ impl ControllerStats {
         assert!(
             self.false_exonerations <= self.exonerations,
             "false exonerations are a subset of exonerations"
+        );
+        assert_eq!(
+            self.control_losses,
+            self.control_retries + self.control_exhausted,
+            "every lost control message is either retried or abandoned"
+        );
+        assert!(
+            self.elections <= self.controller_crashes + self.controller_restores,
+            "elections are triggered only by crashes or restores"
+        );
+        assert!(
+            self.recoveries_resumed <= self.control_reports,
+            "only journaled reports can be resumed, at most once each"
         );
     }
 }

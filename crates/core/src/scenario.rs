@@ -26,6 +26,7 @@ use sharebackup_topo::{
 use sharebackup_workload::{FailureEvent, FailureKind};
 
 use crate::controller::{Controller, Recovery};
+use crate::failover::{CompletedRecovery, FailoverPlane, FailureReport};
 
 /// How a fat-tree world reacts to failures.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -219,6 +220,13 @@ pub enum SbEvent {
     Recover,
     /// Complete due repairs.
     PollRepairs,
+    /// A controller replica crashes (only meaningful for worlds carrying a
+    /// [`FailoverPlane`]; a no-op otherwise). Crashing the primary opens a
+    /// blackout during which submitted failures stay journaled and the
+    /// data plane rides [`DegradedMode`].
+    ControllerCrash(usize),
+    /// A crashed controller replica comes back (plane worlds only).
+    ControllerRestore(usize),
 }
 
 /// The ShareBackup system under its controller.
@@ -238,6 +246,16 @@ pub struct ShareBackupWorld {
     /// only). Call [`DegradedTracker::finalize`] with the simulation end
     /// time before reading totals.
     pub tracker: DegradedTracker,
+    /// Optional replicated control plane. When present, failure reports
+    /// travel through [`FailoverPlane::submit`] — the primary can crash
+    /// mid-recovery and an elected successor re-drives the journaled work —
+    /// instead of invoking the controller handlers directly. When `None`
+    /// the world behaves exactly as before the control plane existed.
+    pub failover: Option<FailoverPlane>,
+    /// Recoveries completed through the plane, with report/completion
+    /// timestamps (plane worlds only; direct-path recoveries land in
+    /// [`ShareBackupWorld::recoveries`] without timing).
+    pub failover_log: Vec<CompletedRecovery>,
     now: Time,
 }
 
@@ -253,6 +271,8 @@ impl ShareBackupWorld {
             recoveries: Vec::new(),
             degraded_mode: DegradedMode::Stall,
             tracker: DegradedTracker::new(),
+            failover: None,
+            failover_log: Vec::new(),
             now: Time::ZERO,
         }
     }
@@ -261,6 +281,27 @@ impl ShareBackupWorld {
     pub fn with_degraded_mode(mut self, mode: DegradedMode) -> ShareBackupWorld {
         self.degraded_mode = mode;
         self
+    }
+
+    /// Route failure reports through a replicated control plane (builder
+    /// style). See [`FailoverPlane`].
+    pub fn with_failover(mut self, plane: FailoverPlane) -> ShareBackupWorld {
+        self.failover = Some(plane);
+        self
+    }
+
+    /// Poll the plane (if any) for journaled work that became driveable —
+    /// the controller returned from a blackout, or a deferred retry came
+    /// due — and collect completions. Cheap no-op when the journal is
+    /// empty or no plane is attached.
+    fn drive_failover(&mut self, now: Time) {
+        if let Some(plane) = self.failover.as_mut() {
+            plane.poll(&mut self.controller, now);
+            for done in plane.take_completed() {
+                self.recoveries.push(done.recovery.clone());
+                self.failover_log.push(done);
+            }
+        }
     }
 
     /// The deterministic recovery latency of this deployment — scenario
@@ -317,6 +358,9 @@ impl Environment for ShareBackupWorld {
         // (which carries no timestamp) are stamped with the real instant,
         // not the last epoch's.
         self.now = now;
+        // Journaled recoveries resume as soon as the engine's clock passes
+        // the blackout end / retry deadline, not only at explicit epochs.
+        self.drive_failover(now);
     }
     fn on_epoch(&mut self, index: usize, now: Time) {
         self.now = now;
@@ -358,24 +402,71 @@ impl Environment for ShareBackupWorld {
             }
             SbEvent::Recover => {
                 let pending = std::mem::take(&mut self.pending);
-                for ev in pending {
-                    let r = match ev {
-                        SbEvent::NodeFail(p) | SbEvent::SpuriousReport(p) => {
-                            self.controller.handle_node_failure(p, now)
-                        }
-                        SbEvent::LinkFail { faulty, other } => {
-                            self.controller.handle_link_failure(faulty, other, now)
-                        }
-                        SbEvent::HostLinkFail { host, .. } => {
-                            self.controller.handle_host_link_failure(host, now)
-                        }
-                        SbEvent::Recover | SbEvent::PollRepairs => continue,
-                    };
-                    self.recoveries.push(r);
+                if self.failover.is_some() {
+                    // Control-plane path: reports enter the journal and
+                    // complete when the (possibly crashed / lossy) plane
+                    // gets them through.
+                    for ev in pending {
+                        let report = match ev {
+                            SbEvent::NodeFail(p) | SbEvent::SpuriousReport(p) => {
+                                FailureReport::Node(p)
+                            }
+                            SbEvent::LinkFail { faulty, other } => {
+                                FailureReport::Link { faulty, other }
+                            }
+                            SbEvent::HostLinkFail { host, .. } => {
+                                FailureReport::HostLink(host)
+                            }
+                            _ => continue,
+                        };
+                        // lint:allow(unwrap) — plane checked `is_some` above
+                        let plane = self.failover.as_mut().expect("plane present");
+                        plane.submit(&mut self.controller, report, now);
+                    }
+                    self.drive_failover(now);
+                } else {
+                    for ev in pending {
+                        let r = match ev {
+                            SbEvent::NodeFail(p) | SbEvent::SpuriousReport(p) => {
+                                self.controller.handle_node_failure(p, now)
+                            }
+                            SbEvent::LinkFail { faulty, other } => {
+                                self.controller.handle_link_failure(faulty, other, now)
+                            }
+                            SbEvent::HostLinkFail { host, .. } => {
+                                self.controller.handle_host_link_failure(host, now)
+                            }
+                            SbEvent::Recover
+                            | SbEvent::PollRepairs
+                            | SbEvent::ControllerCrash(_)
+                            | SbEvent::ControllerRestore(_) => continue,
+                        };
+                        self.recoveries.push(r);
+                    }
                 }
             }
             SbEvent::PollRepairs => {
                 self.controller.poll_repairs(now);
+                self.drive_failover(now);
+            }
+            SbEvent::ControllerCrash(id) => {
+                if let Some(plane) = self.failover.as_mut() {
+                    // Out-of-range ids are a schedule bug, not a data-plane
+                    // event — surface them loudly.
+                    plane
+                        .crash_replica(&mut self.controller, id, now)
+                        // lint:allow(unwrap) — scenario schedules name real replicas
+                        .expect("crash event names a real replica");
+                }
+            }
+            SbEvent::ControllerRestore(id) => {
+                if let Some(plane) = self.failover.as_mut() {
+                    plane
+                        .restore_replica(&mut self.controller, id, now)
+                        // lint:allow(unwrap) — scenario schedules name real replicas
+                        .expect("restore event names a real replica");
+                }
+                self.drive_failover(now);
             }
         }
     }
@@ -473,12 +564,31 @@ pub fn sharebackup_timeline(
     let lat = world.recovery_latency();
     let cfg = &world.controller.cfg;
     let mut pairs: Vec<(Time, SbEvent)> = Vec::with_capacity(failures.len() * 4);
+    let eps = Duration::from_millis(1);
     for &(t, ev) in failures {
         pairs.push((t, ev));
+        match ev {
+            // Control-plane events recover nothing themselves; schedule a
+            // poll for just after the plane becomes available again so
+            // journaled recoveries resume even in flowless runs (where no
+            // `on_advance` ticks past the blackout).
+            SbEvent::ControllerCrash(_) => {
+                if let Some(plane) = &world.failover {
+                    pairs.push((t + plane.cfg.blackout() + eps, SbEvent::PollRepairs));
+                }
+                continue;
+            }
+            SbEvent::ControllerRestore(_) => {
+                if let Some(plane) = &world.failover {
+                    pairs.push((t + plane.cfg.election_time + eps, SbEvent::PollRepairs));
+                }
+                continue;
+            }
+            _ => {}
+        }
         pairs.push((t + lat, SbEvent::Recover));
         // Repairs are scheduled relative to the Recover instant; poll just
         // after each possible due time.
-        let eps = Duration::from_millis(1);
         pairs.push((t + lat + cfg.switch_repair_time + eps, SbEvent::PollRepairs));
         pairs.push((t + lat + cfg.host_repair_time + eps, SbEvent::PollRepairs));
     }
@@ -758,5 +868,106 @@ mod tests {
         let t = out.flows[0].completed.expect("finishes after repair");
         assert!(t > Time::from_secs(60));
         assert!(out.flows[0].ever_stalled);
+    }
+
+    #[test]
+    fn inert_failover_plane_leaves_the_scenario_unchanged() {
+        // The control plane is opt-in: a healthy, chaos-free plane must
+        // reproduce the direct-dispatch world exactly — same recoveries,
+        // same flow completion instants.
+        use crate::failover::{FailoverConfig, FailoverPlane};
+
+        let run = |with_plane: bool| {
+            let sb = ShareBackup::build(ShareBackupConfig::new(4, 1));
+            let controller = Controller::new(sb, ControllerConfig::default());
+            let mut world = ShareBackupWorld::new(controller, vec![]);
+            if with_plane {
+                world = world.with_failover(FailoverPlane::new(FailoverConfig::default()));
+            }
+            let src = world.sb().slots.host(HostAddr { pod: 0, edge: 0, host: 0 });
+            let dst = world.sb().slots.host(HostAddr { pod: 2, edge: 1, host: 0 });
+            let flow = FlowKey::new(src, dst, 7);
+            let original = world.route(&flow).expect("healthy route");
+            let victim = world
+                .sb()
+                .occupant(world.sb().node_slot(original[2]).expect("agg slot"));
+            let failures = vec![(Time::from_millis(10), SbEvent::NodeFail(victim))];
+            let (events, times) = sharebackup_timeline(&world, &failures);
+            world.events = events;
+            let flows = vec![FlowSpec {
+                key: flow,
+                bytes: 125_000_000,
+                arrival: Time::ZERO,
+            }];
+            let out = FlowSim::new().run(&mut world, &flows, &times);
+            (out.flows[0].completed, world.recoveries.clone())
+        };
+
+        let (direct_done, direct_rec) = run(false);
+        let (plane_done, plane_rec) = run(true);
+        assert_eq!(direct_done, plane_done, "completion instants must match");
+        assert_eq!(direct_rec.len(), plane_rec.len());
+        for (a, b) in direct_rec.iter().zip(&plane_rec) {
+            assert_eq!(a.latency, b.latency, "inert plane adds no latency");
+            assert_eq!(a.fully_recovered(), b.fully_recovered());
+        }
+    }
+
+    #[test]
+    fn controller_crash_blacks_out_recovery_until_the_successor_takes_over() {
+        // The primary crashes just before the failure report arrives: the
+        // report stays journaled through detection + election, the flow
+        // stalls for the whole blackout, and the elected successor
+        // completes the recovery on the original path.
+        use crate::failover::{FailoverConfig, FailoverPlane};
+
+        let sb = ShareBackup::build(ShareBackupConfig::new(4, 1));
+        let controller = Controller::new(sb, ControllerConfig::default());
+        let plane = FailoverPlane::new(FailoverConfig::default());
+        let blackout = plane.cfg.blackout();
+        let mut world = ShareBackupWorld::new(controller, vec![]).with_failover(plane);
+
+        let src = world.sb().slots.host(HostAddr { pod: 0, edge: 0, host: 0 });
+        let dst = world.sb().slots.host(HostAddr { pod: 2, edge: 1, host: 0 });
+        let flow = FlowKey::new(src, dst, 7);
+        let original = world.route(&flow).expect("healthy route");
+        let victim = world
+            .sb()
+            .occupant(world.sb().node_slot(original[2]).expect("agg slot"));
+
+        let crash_at = Time::from_millis(11);
+        let failures = vec![
+            (Time::from_millis(10), SbEvent::NodeFail(victim)),
+            (crash_at, SbEvent::ControllerCrash(0)),
+        ];
+        let (events, times) = sharebackup_timeline(&world, &failures);
+        world.events = events;
+
+        let flows = vec![FlowSpec {
+            key: flow,
+            bytes: 125_000_000, // 0.1 s at 10G
+            arrival: Time::ZERO,
+        }];
+        let out = FlowSim::new().run(&mut world, &flows, &times);
+
+        let t = out.flows[0].completed.expect("finishes after failover");
+        assert!(out.flows[0].ever_stalled, "stalled through the blackout");
+        // Stall spans the blackout: the transfer needs 100 ms of service
+        // plus the ~53 ms outage minus the 10 ms served before the crash.
+        assert!(t > Time::ZERO + blackout, "{t:?}");
+
+        assert_eq!(world.failover_log.len(), 1, "recovery resumed exactly once");
+        let done = &world.failover_log[0];
+        assert!(done.recovery.fully_recovered());
+        assert!(
+            done.completed_at >= crash_at + blackout,
+            "completion {} can't precede the blackout end {}",
+            done.completed_at,
+            crash_at + blackout
+        );
+        assert_eq!(world.controller.stats.controller_crashes, 1);
+        assert_eq!(world.controller.stats.elections, 1);
+        let after = world.route(&flow).expect("route after recovery");
+        assert_eq!(after, original, "recovery restores the original path");
     }
 }

@@ -129,6 +129,9 @@ struct TimelineWorld {
     control_message: Duration,
     processing: Duration,
     reset_delay: Duration,
+    /// The controller cannot declare failures before this instant (dead
+    /// primary / election in progress); `Time::ZERO` = always available.
+    controller_available_at: Time,
     cs_ids: Vec<CsId>,
     backup: PhysId,
     alive: bool,
@@ -162,7 +165,8 @@ impl World<Ev> for TimelineWorld {
                 let silence = now.saturating_since(self.last_seen);
                 let limit =
                     self.detection.probe_interval * self.detection.miss_threshold as u64;
-                if self.died_at.is_some() && silence > limit {
+                if self.died_at.is_some() && silence > limit && now >= self.controller_available_at
+                {
                     self.detected_at = Some(now);
                     self.events.push((now, TimelineEvent::Detected));
                     engine.schedule_in(self.processing, Ev::Processed);
@@ -257,6 +261,26 @@ pub fn simulate_recovery_traced(
     probe_phase: Duration,
     tracer: &Tracer,
 ) -> Timeline {
+    simulate_recovery_with_blackout(ctl, slot, die_at, probe_phase, Time::ZERO, tracer)
+}
+
+/// [`simulate_recovery_traced`] under a control-plane blackout: the
+/// controller's scan loop keeps running, but it cannot *declare* a failure
+/// before `controller_available_at` — the primary is dead or an election
+/// is still in progress (see [`crate::failover`]). With
+/// `controller_available_at == Time::ZERO` this is exactly
+/// [`simulate_recovery_traced`].
+///
+/// # Panics
+/// Panics if the slot's group has no available backup.
+pub fn simulate_recovery_with_blackout(
+    ctl: &mut Controller,
+    slot: SlotId,
+    die_at: Time,
+    probe_phase: Duration,
+    controller_available_at: Time,
+    tracer: &Tracer,
+) -> Timeline {
     let backup = *ctl
         .sb
         .spares(slot.group)
@@ -277,6 +301,7 @@ pub fn simulate_recovery_traced(
         control_message: ctl.cfg.latency.control_message,
         processing: ctl.cfg.latency.controller_processing,
         reset_delay: ctl.sb.cfg.tech.reconfiguration_delay(),
+        controller_available_at,
         cs_ids,
         backup,
         alive: true,
@@ -359,6 +384,48 @@ mod tests {
         assert_eq!(tl.repair_latency(), expect);
         // The data plane is actually healed afterwards.
         assert!(ctl.sb.slots.net.node(ctl.sb.slot_node(slot)).up);
+    }
+
+    #[test]
+    fn blackout_defers_detection_until_the_controller_returns() {
+        let slot = GroupId::agg(0).slot(1);
+        let die_at = Time::from_millis(10);
+        let baseline = {
+            let mut ctl = controller(CircuitTech::Crosspoint);
+            simulate_recovery(&mut ctl, slot, die_at, Duration::ZERO)
+        };
+
+        // The control plane is electing until 60 ms (e.g. the primary died
+        // with the switch): the silence is long over the limit by then, so
+        // the first post-blackout scan declares immediately.
+        let available_at = Time::from_millis(60);
+        let mut ctl = controller(CircuitTech::Crosspoint);
+        let tl = simulate_recovery_with_blackout(
+            &mut ctl,
+            slot,
+            die_at,
+            Duration::ZERO,
+            available_at,
+            &Tracer::off(),
+        );
+        assert_eq!(tl.detected_at, available_at, "first scan past the blackout");
+        assert!(tl.detection_latency() > baseline.detection_latency());
+        // Everything downstream of detection is unchanged.
+        assert_eq!(tl.repair_latency(), baseline.repair_latency());
+        assert!(ctl.sb.slots.net.node(ctl.sb.slot_node(slot)).up);
+
+        // A zero blackout reproduces the baseline exactly.
+        let mut ctl = controller(CircuitTech::Crosspoint);
+        let same = simulate_recovery_with_blackout(
+            &mut ctl,
+            slot,
+            die_at,
+            Duration::ZERO,
+            Time::ZERO,
+            &Tracer::off(),
+        );
+        assert_eq!(same.detected_at, baseline.detected_at);
+        assert_eq!(same.recovered_at, baseline.recovered_at);
     }
 
     #[test]

@@ -39,6 +39,7 @@ fn machinery() -> impl Strategy<Value = ChaosConfig> {
             max_reconfig_retries: retries,
             false_conviction_rate: conv,
             false_exoneration_rate: exon,
+            ..ChaosConfig::off()
         })
 }
 

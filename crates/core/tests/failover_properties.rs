@@ -1,0 +1,199 @@
+//! Property tests of the replicated control plane: under random crash
+//! instants (scheduled and mid-recovery), control-message loss/delay
+//! rates, replica counts, and seeds, no failure is ever silently dropped —
+//! every submitted report is either *recovered* (with a completion
+//! timestamp), *visibly unrecovered* (journaled with a computable dwell),
+//! and the structural invariants plus the control-plane counter algebra
+//! hold after every single transition. Re-driving an interrupted recovery
+//! is idempotent: a crash after execution never double-assigns a backup.
+
+use proptest::prelude::*;
+
+use sharebackup_core::{
+    ChaosConfig, Controller, ControllerConfig, FailoverConfig, FailoverPlane, FailureReport,
+    RecoveryPhase,
+};
+use sharebackup_sim::{Duration, SimRng, Time};
+use sharebackup_topo::{GroupId, ShareBackup, ShareBackupConfig};
+
+fn controller() -> Controller {
+    Controller::new(
+        ShareBackup::build(ShareBackupConfig::new(4, 1)),
+        ControllerConfig::default(),
+    )
+}
+
+/// Everything the harness asserts after *every* plane transition.
+fn consistent(ctl: &Controller) {
+    ctl.sb.check_invariants();
+    ctl.stats.assert_consistent();
+}
+
+/// The crash phases `force_crash_at` can interrupt, plus "no forced crash".
+fn phase_of(i: usize) -> Option<RecoveryPhase> {
+    match i {
+        0 => None,
+        1 => Some(RecoveryPhase::Reported),
+        2 => Some(RecoveryPhase::Diagnosed),
+        _ => Some(RecoveryPhase::Executed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The trichotomy: after an arbitrary script of reports, scheduled
+    /// replica crashes/restores, a possibly-forced mid-recovery crash, and
+    /// a lossy/delayed control channel, every report is accounted for —
+    /// completed (with completion time ≥ report time) or still journaled
+    /// with a visible dwell. Invariants and counter algebra hold at every
+    /// step, and the whole run replays bit-identically from its seed.
+    #[test]
+    fn no_failure_is_silently_dropped(
+        seed in any::<u64>(),
+        loss in 0.0f64..=0.9,
+        delay in 0.0f64..=0.5,
+        forced in 0usize..4,
+        crash_offset_ms in 0u64..200,
+        replicas in 1usize..=3,
+    ) {
+        let run = || {
+            let mut ctl = controller();
+            let chaos = ChaosConfig {
+                control_loss_rate: loss,
+                control_delay_rate: delay,
+                ..ChaosConfig::off()
+            };
+            let mut plane = FailoverPlane::with_chaos(
+                FailoverConfig { replicas, ..FailoverConfig::default() },
+                chaos,
+                SimRng::seed_from_u64(seed).child("prop-control"),
+            );
+            if let Some(phase) = phase_of(forced) {
+                plane.force_crash_at(phase);
+            }
+
+            // Two independent data-plane failures in different groups.
+            let v0 = ctl.sb.occupant(GroupId::agg(0).slot(0));
+            let v1 = ctl.sb.occupant(GroupId::edge(1).slot(0));
+            let mut completed = Vec::new();
+            let mut drain = |plane: &mut FailoverPlane, ctl: &Controller| {
+                for d in plane.take_completed() {
+                    consistent(ctl);
+                    completed.push((d.id, d.reported_at, d.completed_at));
+                }
+            };
+
+            let t0 = Time::from_millis(100);
+            ctl.sb.set_phys_healthy(v0, false);
+            plane.submit(&mut ctl, FailureReport::Node(v0), t0);
+            consistent(&ctl);
+            drain(&mut plane, &ctl);
+
+            // A scheduled crash at a random instant (idempotent if the
+            // forced crash already killed replica 0).
+            let tc = t0 + Duration::from_millis(crash_offset_ms);
+            plane
+                .crash_replica(&mut ctl, 0, tc)
+                .expect("replica 0 exists");
+            consistent(&ctl);
+
+            let t1 = Time::from_millis(350);
+            ctl.sb.set_phys_healthy(v1, false);
+            plane.submit(&mut ctl, FailureReport::Node(v1), t1);
+            consistent(&ctl);
+            drain(&mut plane, &ctl);
+
+            let t2 = Time::from_millis(500);
+            plane
+                .restore_replica(&mut ctl, 0, t2)
+                .expect("replica 0 exists");
+            consistent(&ctl);
+
+            // Poll forward; retries/backoff/elections play out. No
+            // completion requirement — a 90% lossy channel may legitimately
+            // still be retrying at the end; it must just stay visible.
+            let mut last = t2;
+            for i in 0..30u64 {
+                last = t2 + Duration::from_millis(200 * (i + 1));
+                plane.poll(&mut ctl, last);
+                consistent(&ctl);
+                drain(&mut plane, &ctl);
+            }
+
+            // Trichotomy: everything submitted is completed or journaled.
+            let pending = plane.pending();
+            prop_assert_eq!(completed.len() + pending.len(), 2, "no report dropped");
+            for &(_, reported, done) in &completed {
+                prop_assert!(done >= reported, "completion can't precede report");
+            }
+            for p in &pending {
+                // The dwell of a visibly-unrecovered failure is computable
+                // and sane.
+                let dwell = last.since(p.reported_at);
+                prop_assert!(dwell > Duration::ZERO, "pending dwell visible");
+            }
+            // No double assignment: each completed node recovery replaced
+            // exactly one switch, plus any journaled entry that already
+            // executed but wasn't reconciled yet.
+            let executed_pending = pending
+                .iter()
+                .filter(|p| p.phase == RecoveryPhase::Executed)
+                .count();
+            prop_assert_eq!(
+                usize::try_from(ctl.stats.replacements).expect("small count"),
+                completed.len() + executed_pending,
+                "one replacement per executed recovery, never two"
+            );
+            (completed, ctl.stats)
+        };
+
+        // Bit-determinism: the same seed replays the same history.
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b, "replay diverged");
+    }
+
+    /// Idempotent re-drive, isolated: a primary crash at *any* phase
+    /// boundary of a single live recovery is resumed by the successor,
+    /// completes exactly once, and assigns exactly one backup.
+    #[test]
+    fn interrupted_recovery_completes_exactly_once(
+        seed in any::<u64>(),
+        loss in 0.0f64..=0.5,
+        forced in 1usize..4,
+    ) {
+        let mut ctl = controller();
+        let chaos = ChaosConfig { control_loss_rate: loss, ..ChaosConfig::off() };
+        let mut plane = FailoverPlane::with_chaos(
+            FailoverConfig::default(),
+            chaos,
+            SimRng::seed_from_u64(seed).child("prop-idem"),
+        );
+        plane.force_crash_at(phase_of(forced).expect("forced phase"));
+
+        let victim = ctl.sb.occupant(GroupId::agg(0).slot(0));
+        ctl.sb.set_phys_healthy(victim, false);
+        let t0 = Time::from_secs(1);
+        plane.submit(&mut ctl, FailureReport::Node(victim), t0);
+        consistent(&ctl);
+
+        let mut completed = plane.take_completed();
+        let mut t = t0;
+        for _ in 0..60 {
+            t = t + plane.cfg.blackout() + Duration::from_millis(100);
+            plane.poll(&mut ctl, t);
+            consistent(&ctl);
+            completed.extend(plane.take_completed());
+            if !completed.is_empty() {
+                break;
+            }
+        }
+        prop_assert_eq!(completed.len(), 1, "completes exactly once");
+        prop_assert!(completed[0].recovery.fully_recovered());
+        prop_assert_eq!(ctl.stats.replacements, 1, "exactly one backup assigned");
+        prop_assert_eq!(plane.pending_count(), 0);
+        // The benched victim is out of the pool, the backup is in the slot.
+        prop_assert!(!ctl.sb.spares(GroupId::agg(0)).contains(&victim));
+    }
+}

@@ -69,20 +69,24 @@ impl DegradedTracker {
     }
 
     /// Record that `flow` is back on its normal path at `now`, closing its
-    /// open degraded spell (if any).
+    /// open degraded spell (if any). Saturating: a `now` that trails the
+    /// spell's open instant (duplicate `on_advance` deliveries are not
+    /// guaranteed monotonic across environments) closes the spell at zero
+    /// width instead of panicking.
     pub fn mark_normal(&mut self, flow: u64, now: Time) {
         if let Some(spell) = self.flows.get_mut(&flow) {
             if let Some(since) = spell.since.take() {
-                spell.total += now.since(since);
+                spell.total += now.saturating_since(since);
             }
         }
     }
 
-    /// Close every open spell at `now` (end of simulation).
+    /// Close every open spell at `now` (end of simulation). Saturating,
+    /// like [`DegradedTracker::mark_normal`].
     pub fn finalize(&mut self, now: Time) {
         for spell in self.flows.values_mut() {
             if let Some(since) = spell.since.take() {
-                spell.total += now.since(since);
+                spell.total += now.saturating_since(since);
             }
         }
     }
@@ -159,5 +163,56 @@ mod tests {
         t.mark_normal(42, Time::from_secs(1));
         assert_eq!(t.degraded_count(), 0);
         assert!(!t.contains(42));
+    }
+
+    #[test]
+    fn overlapping_spells_across_flows_account_independently() {
+        // Two flows degrade over interleaved windows; each accumulates its
+        // own wall-clock, and the total is the sum, not the union.
+        let mut t = DegradedTracker::new();
+        t.mark_degraded(1, Time::from_secs(1)); // flow 1: [1, 6) = 5s
+        t.mark_degraded(2, Time::from_secs(3)); // flow 2: [3, 4) = 1s
+        t.mark_normal(2, Time::from_secs(4));
+        t.mark_normal(1, Time::from_secs(6));
+        assert_eq!(t.degraded_count(), 2);
+        assert_eq!(t.total_degraded_time(), Duration::from_secs(6));
+        let rows = t.report();
+        assert_eq!(rows[0], (1, Time::from_secs(1), Duration::from_secs(5)));
+        assert_eq!(rows[1], (2, Time::from_secs(3), Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn spell_never_closed_before_sim_end_is_charged_by_finalize_only() {
+        // A flow that is still degraded when the simulation ends must not
+        // silently drop its open spell: total reads zero until `finalize`
+        // charges the dwell up to the end time.
+        let mut t = DegradedTracker::new();
+        t.mark_degraded(9, Time::from_secs(5));
+        assert_eq!(
+            t.total_degraded_time(),
+            Duration::ZERO,
+            "open spell not yet charged"
+        );
+        assert!(t.contains(9), "but the flow is visibly degraded");
+        t.finalize(Time::from_secs(12));
+        assert_eq!(t.total_degraded_time(), Duration::from_secs(7));
+    }
+
+    #[test]
+    fn non_monotonic_duplicate_close_saturates_instead_of_panicking() {
+        // Environments may deliver a duplicate `on_advance` with a stale
+        // timestamp; closing a spell "before" it opened must clamp to zero
+        // width, and the stale close must not corrupt later accounting.
+        let mut t = DegradedTracker::new();
+        t.mark_degraded(3, Time::from_secs(10));
+        t.mark_normal(3, Time::from_secs(8)); // stale: earlier than open
+        assert_eq!(t.total_degraded_time(), Duration::ZERO);
+        // A fresh spell still accounts normally afterwards.
+        t.mark_degraded(3, Time::from_secs(20));
+        t.finalize(Time::from_secs(25));
+        assert_eq!(t.total_degraded_time(), Duration::from_secs(5));
+        // Stale finalize after everything is closed is also harmless.
+        t.finalize(Time::from_secs(1));
+        assert_eq!(t.total_degraded_time(), Duration::from_secs(5));
     }
 }

@@ -105,6 +105,27 @@ impl TraceBuffer {
         out
     }
 
+    /// Completed spans restricted to category `cat`, in `Begin` order.
+    /// Depths are still measured against the full stream (a filtered span
+    /// nested inside another category keeps its true depth).
+    pub fn spans_in(&self, cat: &str) -> Vec<Span> {
+        self.spans().into_iter().filter(|s| s.cat == cat).collect()
+    }
+
+    /// Instant ("mark") events restricted to category `cat`, as
+    /// `(name, at)` pairs in emission order.
+    pub fn marks_in(&self, cat: &str) -> Vec<(String, Time)> {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::Mark { at, cat: c, name } if *c == cat => {
+                    Some((name.clone(), *at))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
     /// The latest timestamp appearing in the event stream, or
     /// [`Time::ZERO`] if there are no events.
     pub fn last_event_time(&self) -> Time {
@@ -248,6 +269,27 @@ mod tests {
         assert_eq!(first.events.len(), 1);
         assert_eq!(s.open_spans(), 0);
         assert_eq!(s.take(), TraceBuffer::default());
+    }
+
+    #[test]
+    fn category_filters_select_spans_and_marks() {
+        let mut s = MemSink::new();
+        s.span_begin(Time::from_secs(1), "failover", "election");
+        s.instant(Time::from_secs(2), "failover", "control-retry");
+        s.instant(Time::from_secs(2), "chaos", "flow-degraded");
+        s.span_end(Time::from_secs(3));
+        s.span_begin(Time::from_secs(4), "chaos", "burst");
+        s.span_end(Time::from_secs(5));
+        let buf = s.take();
+        let f = buf.spans_in("failover");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].name, "election");
+        assert_eq!(buf.spans_in("chaos").len(), 1);
+        assert_eq!(
+            buf.marks_in("failover"),
+            vec![("control-retry".to_string(), Time::from_secs(2))]
+        );
+        assert!(buf.marks_in("nope").is_empty());
     }
 
     #[test]

@@ -50,6 +50,71 @@ impl FailureEvent {
     }
 }
 
+/// One controller-replica crash with its outage window — the control-plane
+/// counterpart of [`FailureEvent`], consumed by scenario builders that
+/// carry a `sharebackup_core` `FailoverPlane` (mapped to
+/// `ControllerCrash`/`ControllerRestore` epoch events).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ControllerCrashEvent {
+    /// Which replica crashes (index into the cluster).
+    pub replica: usize,
+    /// When it crashes.
+    pub at: Time,
+    /// How long until it is restored.
+    pub duration: Duration,
+}
+
+impl ControllerCrashEvent {
+    /// The restore instant.
+    pub fn restored_at(&self) -> Time {
+        self.at + self.duration
+    }
+}
+
+/// Generate a controller-replica crash/restore schedule over `horizon`:
+/// exponential inter-arrival between crashes (mean
+/// [`ChaosProfile::controller_crash_interarrival`]), a uniformly chosen
+/// victim among `replicas`, and an exponential outage with mean
+/// [`ChaosProfile::controller_crash_dwell`]. Crashing an already-down
+/// replica is deliberately possible — the plane treats it as an idempotent
+/// no-op, and that path deserves chaos coverage too.
+///
+/// All draws come from the `"chaos-controller"` child stream of `rng`, so
+/// enabling this component never perturbs the data-plane chaos schedules
+/// (and a disabled component — `None` inter-arrival or zero replicas —
+/// consumes no randomness at all).
+pub fn controller_crash_process(
+    rng: &SimRng,
+    horizon: Time,
+    replicas: usize,
+    profile: &ChaosProfile,
+) -> Vec<ControllerCrashEvent> {
+    let Some(mean_interarrival) = profile.controller_crash_interarrival else {
+        return Vec::new();
+    };
+    if replicas == 0 {
+        return Vec::new();
+    }
+    let mut r = rng.child("chaos-controller");
+    let mut events = Vec::new();
+    let mut t = 0.0_f64;
+    loop {
+        t += r.exponential(mean_interarrival.as_secs_f64());
+        let at = Time::from_secs_f64(t);
+        if at > horizon {
+            break;
+        }
+        let replica = r.range(0..replicas);
+        let down = r.exponential(profile.controller_crash_dwell.as_secs_f64());
+        events.push(ControllerCrashEvent {
+            replica,
+            at,
+            duration: Duration::from_secs_f64(down),
+        });
+    }
+    events
+}
+
 /// Samples failures over a network.
 pub struct FailureInjector {
     switches: Vec<NodeId>,
@@ -362,6 +427,11 @@ pub struct ChaosProfile {
     pub flap_down_dwell: Duration,
     /// Mean outage duration for Poisson and burst failures.
     pub mean_duration: Duration,
+    /// Controller-replica crashes: mean inter-arrival between crashes, or
+    /// `None` to disable the component (see [`controller_crash_process`]).
+    pub controller_crash_interarrival: Option<Duration>,
+    /// Mean outage of a crashed controller replica before restore.
+    pub controller_crash_dwell: Duration,
 }
 
 impl ChaosProfile {
@@ -378,6 +448,8 @@ impl ChaosProfile {
             flap_up_dwell: Duration::from_secs(60),
             flap_down_dwell: Duration::from_secs(5),
             mean_duration: Duration::from_secs(180),
+            controller_crash_interarrival: None,
+            controller_crash_dwell: Duration::from_secs(30),
         }
     }
 
@@ -386,6 +458,7 @@ impl ChaosProfile {
         self.poisson_interarrival.is_some()
             || self.burst_interarrival.is_some()
             || self.flapping_links > 0
+            || self.controller_crash_interarrival.is_some()
     }
 }
 
@@ -634,5 +707,75 @@ mod tests {
     fn availability_math() {
         assert!((expected_down_fraction(0.9999) - 0.0001).abs() < 1e-12);
         assert_eq!(expected_down_fraction(1.0), 0.0);
+    }
+
+    #[test]
+    fn controller_crash_process_is_deterministic_and_in_range() {
+        let profile = ChaosProfile {
+            controller_crash_interarrival: Some(Duration::from_secs(40)),
+            controller_crash_dwell: Duration::from_secs(20),
+            ..ChaosProfile::quiet()
+        };
+        let rng = SimRng::seed_from_u64(77);
+        let horizon = Time::from_secs(600);
+        let a = controller_crash_process(&rng, horizon, 3, &profile);
+        let b = controller_crash_process(&rng, horizon, 3, &profile);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(!a.is_empty(), "600s at mean 40s yields crashes");
+        let mut last = Time::ZERO;
+        for ev in &a {
+            assert!(ev.replica < 3, "victim within the cluster");
+            assert!(ev.at <= horizon);
+            assert!(ev.at >= last, "crashes arrive in time order");
+            assert!(ev.restored_at() > ev.at, "outage has positive width");
+            last = ev.at;
+        }
+    }
+
+    #[test]
+    fn controller_crash_component_is_inert_when_disabled() {
+        let rng = SimRng::seed_from_u64(78);
+        // Disabled by knob:
+        let quiet = ChaosProfile::quiet();
+        assert!(controller_crash_process(&rng, Time::from_secs(600), 3, &quiet).is_empty());
+        // Disabled by an empty cluster:
+        let on = ChaosProfile {
+            controller_crash_interarrival: Some(Duration::from_secs(10)),
+            ..quiet
+        };
+        assert!(controller_crash_process(&rng, Time::from_secs(600), 0, &on).is_empty());
+        assert!(on.is_active(), "the knob alone activates the profile");
+    }
+
+    #[test]
+    fn controller_crashes_ride_their_own_stream() {
+        // Enabling the data-plane Poisson component must not perturb the
+        // controller-crash schedule (and vice versa): both draw from
+        // disjoint child streams of the same parent.
+        let (ft, inj) = inj();
+        let rng = SimRng::seed_from_u64(79);
+        let horizon = Time::from_secs(600);
+        let ctl_only = ChaosProfile {
+            controller_crash_interarrival: Some(Duration::from_secs(60)),
+            ..ChaosProfile::quiet()
+        };
+        let both = ChaosProfile {
+            poisson_interarrival: Some(Duration::from_secs(30)),
+            ..ctl_only
+        };
+        let a = controller_crash_process(&rng, horizon, 3, &ctl_only);
+        let b = controller_crash_process(&rng, horizon, 3, &both);
+        assert_eq!(a, b, "controller schedule ignores data-plane knobs");
+        let da = inj.chaos_process(&rng, &ft.net, horizon, &both);
+        let db = inj.chaos_process(
+            &rng,
+            &ft.net,
+            horizon,
+            &ChaosProfile {
+                controller_crash_interarrival: None,
+                ..both
+            },
+        );
+        assert_eq!(da, db, "data-plane schedule ignores controller knobs");
     }
 }

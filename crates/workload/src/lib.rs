@@ -34,6 +34,9 @@ pub mod stats;
 pub mod trace_io;
 
 pub use coflowgen::{CoflowTrace, TraceConfig};
-pub use failures::{ChaosProfile, FailureEvent, FailureInjector, FailureKind};
+pub use failures::{
+    controller_crash_process, ChaosProfile, ControllerCrashEvent, FailureEvent, FailureInjector,
+    FailureKind,
+};
 pub use stats::TraceShape;
 pub use trace_io::{BenchmarkCoflow, BenchmarkTrace, ParseError};

@@ -1,0 +1,28 @@
+//! Fixture: a control-plane failover path that reaches for ambient entropy
+//! and the wall clock. Staged as `crates/core/src/bad_failover.rs` by the
+//! integration tests: election jitter from `thread_rng`, loss rolls from
+//! `rand::random`, and blackout stamps from `SystemTime` all break replay
+//! determinism (and the bench digests' `--jobs` byte-identity), so every
+//! one must be flagged by `ambient-rng`.
+
+use std::time::SystemTime;
+
+pub struct ControlChannel {
+    loss_rate: f64,
+}
+
+impl ControlChannel {
+    pub fn send_lost(&mut self) -> bool {
+        // Rolling control-message loss from ambient entropy: two replays
+        // of the same seed would disagree on which report got through.
+        rand::random::<f64>() < self.loss_rate
+    }
+
+    pub fn election_jitter_ms(&mut self) -> u64 {
+        // Wall-clock-seeded jitter makes the successor's takeover instant
+        // (and therefore every downstream recovery latency) irreproducible.
+        let now = SystemTime::now();
+        let _ = now;
+        rand::thread_rng().gen_range(0..50)
+    }
+}

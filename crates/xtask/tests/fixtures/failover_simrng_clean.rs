@@ -1,0 +1,32 @@
+//! Fixture: the sanctioned control-plane chaos idiom — loss/delay rolls
+//! drawn from a caller-supplied `SimRng` child stream, and a channel built
+//! without a stream performing zero draws (inert-by-construction). Staged
+//! as `crates/core/src/good_failover.rs` by the integration tests; must
+//! produce zero findings.
+
+use sharebackup_sim::SimRng;
+
+pub struct ControlChannel {
+    loss_rate: f64,
+    rng: Option<SimRng>,
+}
+
+impl ControlChannel {
+    /// Build with a dedicated child stream so control-plane rolls never
+    /// perturb the wrapped controller's draw sequence.
+    pub fn with_stream(loss_rate: f64, parent: &SimRng) -> ControlChannel {
+        ControlChannel {
+            loss_rate,
+            rng: Some(parent.child("control-chaos")),
+        }
+    }
+
+    /// Without a stream installed, the channel is lossless and drawless:
+    /// pre-existing digests stay byte-identical.
+    pub fn send_lost(&mut self) -> bool {
+        match &mut self.rng {
+            Some(rng) => rng.chance(self.loss_rate),
+            None => false,
+        }
+    }
+}

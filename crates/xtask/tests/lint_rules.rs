@@ -131,6 +131,40 @@ fn chaos_sampling_must_use_simrng_streams() {
 }
 
 #[test]
+fn failover_control_chaos_must_use_simrng_streams() {
+    // The replicated control plane's determinism contract: control-message
+    // loss/delay rolls, election jitter, and crash schedules all draw from
+    // the `FailoverPlane`'s own `SimRng` child stream. A failover path
+    // touching ambient entropy or the wall clock must be flagged; the
+    // inert-by-construction `Option<SimRng>` idiom must stay clean.
+    let ws = TempWorkspace::new("failover-rng");
+    ws.stage(
+        "crates/core/src/bad_failover.rs",
+        &fixture("failover_ambient_rng_violation.rs"),
+    );
+    ws.stage(
+        "crates/core/src/good_failover.rs",
+        &fixture("failover_simrng_clean.rs"),
+    );
+
+    let (code, stdout, _) = ws.lint(&[]);
+    assert_eq!(code, 1, "ambient failover sampling must fail the lint\n{stdout}");
+    assert!(
+        stdout.contains("crates/core/src/bad_failover.rs"),
+        "finding must point at the ambient control channel:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("good_failover.rs"),
+        "the inert-by-construction idiom must not be flagged:\n{stdout}"
+    );
+    // Each ambient source is caught individually: the wall clock, the
+    // `rand::` paths, and `thread_rng`.
+    for needle in ["`SystemTime`", "`rand`", "`thread_rng`"] {
+        assert!(stdout.contains(needle), "missing finding for {needle}:\n{stdout}");
+    }
+}
+
+#[test]
 fn clean_files_pass() {
     let ws = TempWorkspace::new("clean");
     ws.stage("crates/sim/src/good_map.rs", &fixture("map_iteration_clean.rs"));

@@ -25,7 +25,7 @@ fn primary_controller_failure_delays_recovery_by_one_election() {
     ctl.sb.set_phys_healthy(victim, false);
 
     // Primary dies at the same instant.
-    let election_delay = cluster.fail_replica(0);
+    let election_delay = cluster.fail_replica(0).expect("replica 0 exists");
     assert!(cluster.available(), "replica 1 takes over");
     let recovery = ctl.handle_node_failure(victim, Time::ZERO);
     let effective = recovery.latency + election_delay;
@@ -42,8 +42,8 @@ fn total_controller_loss_blocks_recovery_until_restore() {
     let sb = ShareBackup::build(ShareBackupConfig::new(4, 1));
     let mut ctl = Controller::new(sb, ControllerConfig::default());
     let mut cluster = ControllerCluster::new(2, Duration::from_millis(10));
-    cluster.fail_replica(0);
-    cluster.fail_replica(1);
+    cluster.fail_replica(0).expect("replica 0 exists");
+    cluster.fail_replica(1).expect("replica 1 exists");
     assert!(!cluster.available());
 
     // With no primary, the harness must not invoke the controller — model
@@ -53,7 +53,7 @@ fn total_controller_loss_blocks_recovery_until_restore() {
     ctl.sb.set_phys_healthy(victim, false);
     assert!(!ctl.sb.slots.net.node(ctl.sb.slot_node(slot)).up);
 
-    cluster.restore_replica(0);
+    cluster.restore_replica(0).expect("replica 0 exists");
     assert!(cluster.available());
     let recovery = ctl.handle_node_failure(victim, Time::from_secs(1));
     assert!(recovery.fully_recovered());
